@@ -1,0 +1,27 @@
+//! The three baseline algorithms of §III, reproduced faithfully:
+//!
+//! * [`il::IlEngine`] — activity-only pruning with a per-activity
+//!   inverted list over whole trajectories (§III-A).
+//! * [`rt::RtEngine`] — purely spatial pruning with an R-tree over all
+//!   trajectory points, adapting the k-BCT incremental search of Chen
+//!   et al. \[20\] with the Lemma-2 termination test (§III-B).
+//! * [`irt::IrtEngine`] — the IR-tree variant: the same incremental
+//!   search, but subtrees containing none of the query activities are
+//!   pruned during traversal (§III-C).
+//!
+//! All three engines share the *same* distance kernels as GAT
+//! (`atsq-matching`), exactly as the paper prescribes: "the four
+//! algorithms only differ in the index structure and how they retrieve
+//! candidates".
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod common;
+pub mod il;
+pub mod irt;
+pub mod rt;
+
+pub use il::IlEngine;
+pub use irt::IrtEngine;
+pub use rt::RtEngine;

@@ -1,0 +1,368 @@
+//! RT — the R-tree baseline (§III-B).
+//!
+//! All trajectory points are indexed in a single R-tree. The search
+//! adapts the k-BCT strategy of Chen et al. \[20\]: every query point
+//! drives its own incremental nearest-neighbour iterator; venues are
+//! consumed globally nearest-first; each newly discovered trajectory is
+//! evaluated in full. The frontier distances of the iterators sum to a
+//! lower bound on the best match distance `Dbm` of every undiscovered
+//! trajectory, and Lemma 2 (`Dbm ≤ Dmm`) plus Lemma 3 (`Dmm ≤ Dmom`)
+//! turn that into the termination test for both query types.
+
+use crate::common::{evaluate_atsq, evaluate_oatsq, venues, TopK, Venue};
+use atsq_rtree::{NearestIter, RTree};
+use atsq_types::{rank_top_k, Dataset, Query, QueryResult, TrajectoryId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The R-tree baseline engine.
+#[derive(Debug)]
+pub struct RtEngine {
+    tree: RTree<Venue>,
+    fetches: AtomicU64,
+}
+
+impl RtEngine {
+    /// Bulk-loads the point R-tree from a dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        RtEngine {
+            tree: RTree::bulk_load(venues(dataset)),
+            fetches: AtomicU64::new(0),
+        }
+    }
+
+    /// Trajectory fetches (one per evaluated candidate) since reset.
+    pub fn fetches(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Resets the fetch counter.
+    pub fn reset_fetches(&self) {
+        self.fetches.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of indexed venues.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// ATSQ via incremental best-match search.
+    pub fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        self.search(dataset, query, k, false)
+    }
+
+    /// OATSQ via the same retrieval with order-sensitive evaluation.
+    pub fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        self.search(dataset, query, k, true)
+    }
+
+    fn search(
+        &self,
+        dataset: &Dataset,
+        query: &Query,
+        k: usize,
+        ordered: bool,
+    ) -> Vec<QueryResult> {
+        if k == 0 || dataset.is_empty() {
+            return Vec::new();
+        }
+        let iters: Vec<NearestIter<'_, Venue, ()>> = query
+            .points
+            .iter()
+            .map(|q| self.tree.nearest_iter(q.loc))
+            .collect();
+        run_incremental(
+            dataset,
+            query,
+            k,
+            ordered,
+            iters,
+            |it| it.peek_dist(),
+            &self.fetches,
+        )
+    }
+
+    /// The k-BCT query of Chen et al. \[20\]: top-`k` by the purely
+    /// spatial best match distance `Dbm` (no activities). This is the
+    /// query the paper's Fig. 1 shows failing for activity planning —
+    /// provided for comparison studies.
+    pub fn kbct(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        if k == 0 || dataset.is_empty() {
+            return Vec::new();
+        }
+        let mut iters: Vec<NearestIter<'_, Venue, ()>> = query
+            .points
+            .iter()
+            .map(|q| self.tree.nearest_iter(q.loc))
+            .collect();
+        let mut top = TopK::new(k);
+        let mut seen = vec![false; dataset.len()];
+        loop {
+            let mut frontier_sum = 0.0f64;
+            let mut best_idx: Option<(usize, f64)> = None;
+            for (i, it) in iters.iter().enumerate() {
+                match it.peek_dist() {
+                    Some(d) => {
+                        frontier_sum += d;
+                        if best_idx.is_none_or(|(_, bd)| d < bd) {
+                            best_idx = Some((i, d));
+                        }
+                    }
+                    None => frontier_sum = f64::INFINITY,
+                }
+            }
+            if top.kth() < frontier_sum {
+                break;
+            }
+            let Some((idx, _)) = best_idx else { break };
+            let Some(neighbor) = iters[idx].next() else { break };
+            let tr = neighbor.data.trajectory;
+            if seen[tr.index()] {
+                continue;
+            }
+            seen[tr.index()] = true;
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+            let d = atsq_matching::best_match_distance(
+                query,
+                &dataset.trajectory(tr).points,
+            );
+            if d.is_finite() {
+                top.offer(d, tr);
+            }
+        }
+        rank_top_k(top.into_results(), k)
+    }
+
+    /// Range ATSQ: every trajectory with `Dmm ≤ tau`, ascending.
+    pub fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        let iters: Vec<NearestIter<'_, Venue, ()>> = query
+            .points
+            .iter()
+            .map(|q| self.tree.nearest_iter(q.loc))
+            .collect();
+        run_incremental_range(dataset, query, tau, false, iters, |it| it.peek_dist(), &self.fetches)
+    }
+
+    /// Range OATSQ: every trajectory with `Dmom ≤ tau`, ascending.
+    pub fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        let iters: Vec<NearestIter<'_, Venue, ()>> = query
+            .points
+            .iter()
+            .map(|q| self.tree.nearest_iter(q.loc))
+            .collect();
+        run_incremental_range(dataset, query, tau, true, iters, |it| it.peek_dist(), &self.fetches)
+    }
+}
+
+/// Range version of the incremental loop: terminates once the frontier
+/// lower bound exceeds `tau` (Lemma 2 again) instead of tracking a
+/// k-th best.
+pub(crate) fn run_incremental_range<'a, I>(
+    dataset: &Dataset,
+    query: &Query,
+    tau: f64,
+    ordered: bool,
+    mut iters: Vec<I>,
+    peek: impl Fn(&I) -> Option<f64>,
+    fetches: &AtomicU64,
+) -> Vec<QueryResult>
+where
+    I: Iterator<Item = atsq_rtree::nn::Neighbor<'a, Venue>>,
+{
+    let mut out = Vec::new();
+    if dataset.is_empty() || tau < 0.0 {
+        return out;
+    }
+    let mut seen = vec![false; dataset.len()];
+    loop {
+        let mut frontier_sum = 0.0f64;
+        let mut best_idx: Option<(usize, f64)> = None;
+        for (i, it) in iters.iter().enumerate() {
+            match peek(it) {
+                Some(d) => {
+                    frontier_sum += d;
+                    if best_idx.is_none_or(|(_, bd)| d < bd) {
+                        best_idx = Some((i, d));
+                    }
+                }
+                None => frontier_sum = f64::INFINITY,
+            }
+        }
+        if frontier_sum > tau {
+            break;
+        }
+        let Some((idx, _)) = best_idx else { break };
+        let Some(neighbor) = iters[idx].next() else { break };
+        let tr: TrajectoryId = neighbor.data.trajectory;
+        if seen[tr.index()] {
+            continue;
+        }
+        seen[tr.index()] = true;
+        fetches.fetch_add(1, Ordering::Relaxed);
+        let dist = if ordered {
+            evaluate_oatsq(dataset, query, tr, tau)
+        } else {
+            evaluate_atsq(dataset, query, tr)
+        };
+        if let Some(d) = dist {
+            if d <= tau {
+                out.push(QueryResult::new(tr, d));
+            }
+        }
+    }
+    rank_top_k(out, usize::MAX)
+}
+
+/// The shared incremental loop, generic over the per-query-point
+/// iterator type so the IR-tree engine reuses it verbatim.
+///
+/// `peek` returns a lower bound on the next yield of an iterator (the
+/// R-tree heap head); `None` means exhausted, which contributes an
+/// infinite frontier term (no undiscovered trajectory can serve that
+/// query point any more).
+pub(crate) fn run_incremental<'a, I>(
+    dataset: &Dataset,
+    query: &Query,
+    k: usize,
+    ordered: bool,
+    mut iters: Vec<I>,
+    peek: impl Fn(&I) -> Option<f64>,
+    fetches: &AtomicU64,
+) -> Vec<QueryResult>
+where
+    I: Iterator<Item = atsq_rtree::nn::Neighbor<'a, Venue>>,
+{
+    let mut top = TopK::new(k);
+    let mut seen = vec![false; dataset.len()];
+
+    loop {
+        // Frontier lower bound: Σ_i peek_i (∞ once any iterator dries
+        // up — then no unseen trajectory can match that query point).
+        let mut frontier_sum = 0.0f64;
+        let mut best_idx: Option<(usize, f64)> = None;
+        for (i, it) in iters.iter().enumerate() {
+            match peek(it) {
+                Some(d) => {
+                    frontier_sum += d;
+                    if best_idx.is_none_or(|(_, bd)| d < bd) {
+                        best_idx = Some((i, d));
+                    }
+                }
+                None => frontier_sum = f64::INFINITY,
+            }
+        }
+
+        // Lemma-2 termination: the k-th best strictly beats every
+        // undiscovered trajectory's lower bound. Strict comparison
+        // matters for determinism: distance ties must all be
+        // discovered so every engine breaks them by trajectory id.
+        if top.kth() < frontier_sum {
+            break;
+        }
+        let Some((idx, _)) = best_idx else { break };
+        let Some(neighbor) = iters[idx].next() else {
+            break;
+        };
+        let tr: TrajectoryId = neighbor.data.trajectory;
+        if seen[tr.index()] {
+            continue;
+        }
+        seen[tr.index()] = true;
+        fetches.fetch_add(1, Ordering::Relaxed);
+        let dist = if ordered {
+            evaluate_oatsq(dataset, query, tr, top.kth())
+        } else {
+            evaluate_atsq(dataset, query, tr)
+        };
+        if let Some(d) = dist {
+            top.offer(d, tr);
+        }
+    }
+    rank_top_k(top.into_results(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_types::{ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint};
+
+    fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
+        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    }
+
+    fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
+        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        for n in ["a", "b"] {
+            b.observe_activity(n);
+        }
+        b.push_trajectory(vec![tp(0.0, 0.0, &[0]), tp(10.0, 0.0, &[1])]);
+        b.push_trajectory(vec![tp(1.0, 0.0, &[0]), tp(11.0, 0.0, &[1])]);
+        // Geometrically nearest but activity-poor (paper's Fig. 1
+        // motivation): must lose to the matching ones.
+        b.push_trajectory(vec![tp(0.0, 0.1, &[1]), tp(10.0, 0.1, &[1])]);
+        b.push_trajectory(vec![tp(90.0, 90.0, &[0]), tp(95.0, 90.0, &[1])]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn atsq_finds_activity_matches_not_nearest() {
+        let d = dataset();
+        let e = RtEngine::build(&d);
+        assert_eq!(e.len(), 8);
+        let q = Query::new(vec![qp(0.0, 0.0, &[0]), qp(10.0, 0.0, &[1])]).unwrap();
+        let res = e.atsq(&d, &q, 2);
+        let ids: Vec<u32> = res.iter().map(|r| r.trajectory.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(res[0].distance, 0.0);
+        assert_eq!(res[1].distance, 2.0);
+    }
+
+    #[test]
+    fn termination_does_not_miss_far_matches() {
+        let d = dataset();
+        let e = RtEngine::build(&d);
+        let q = Query::new(vec![qp(90.0, 90.0, &[0]), qp(95.0, 90.0, &[1])]).unwrap();
+        let res = e.atsq(&d, &q, 1);
+        assert_eq!(res[0].trajectory, TrajectoryId(3));
+        assert_eq!(res[0].distance, 0.0);
+    }
+
+    #[test]
+    fn oatsq_orders() {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        for n in ["a", "b"] {
+            b.observe_activity(n);
+        }
+        // Activities appear in reverse order along the trajectory.
+        b.push_trajectory(vec![tp(10.0, 0.0, &[1]), tp(0.0, 0.0, &[0])]);
+        b.push_trajectory(vec![tp(0.5, 0.0, &[0]), tp(10.0, 0.0, &[1])]);
+        let d = b.finish().unwrap();
+        let e = RtEngine::build(&d);
+        let q = Query::new(vec![qp(0.0, 0.0, &[0]), qp(10.0, 0.0, &[1])]).unwrap();
+        let unordered = e.atsq(&d, &q, 1);
+        assert_eq!(unordered[0].trajectory, TrajectoryId(0));
+        let ordered = e.oatsq(&d, &q, 1);
+        assert_eq!(ordered[0].trajectory, TrajectoryId(1));
+        assert!((ordered[0].distance - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_k_zero() {
+        let d = dataset();
+        let e = RtEngine::build(&d);
+        let q = Query::new(vec![qp(0.0, 0.0, &[0])]).unwrap();
+        assert!(e.atsq(&d, &q, 0).is_empty());
+        let empty = DatasetBuilder::new().finish().unwrap();
+        let e2 = RtEngine::build(&empty);
+        assert!(e2.is_empty());
+        assert!(e2.atsq(&empty, &q, 3).is_empty());
+    }
+}

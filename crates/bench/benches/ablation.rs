@@ -1,0 +1,45 @@
+//! Ablation benches for GAT's design choices: the TAS sketch, the
+//! tight Algorithm-2 lower bound, and the candidate batch size λ.
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::{GatEngine, QueryEngine};
+use atsq_gat::GatConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (name, dataset) = cities(0.004).remove(0);
+    let mut group = c.benchmark_group(format!("ablation_{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let setting = Setting::default();
+    let queries = workload(&dataset, &setting, 3, 0xab);
+    let variants: Vec<(&str, GatConfig)> = vec![
+        ("full", GatConfig::default()),
+        ("no_tas", GatConfig { use_tas: false, ..GatConfig::default() }),
+        ("loose_lb", GatConfig { tight_lower_bound: false, ..GatConfig::default() }),
+        ("lambda4", GatConfig { lambda: 4, ..GatConfig::default() }),
+        ("lambda128", GatConfig { lambda: 128, ..GatConfig::default() }),
+    ];
+    for (label, cfg) in variants {
+        let engine = GatEngine::build_with(&dataset, cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("atsq", label), &label, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(engine.atsq(&dataset, q, setting.k));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oatsq", label), &label, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(engine.oatsq(&dataset, q, setting.k));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

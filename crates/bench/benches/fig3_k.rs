@@ -1,0 +1,42 @@
+//! Fig. 3 — effect of `k` on ATSQ/OATSQ running time, all engines.
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::QueryEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (name, dataset) = cities(0.004).remove(0);
+    let engines = atsq_core::Engine::build_all(&dataset).unwrap();
+    let mut group = c.benchmark_group(format!("fig3_k_{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [5usize, 15, 25] {
+        let setting = Setting { k, ..Setting::default() };
+        let queries = workload(&dataset, &setting, 3, 0x3a);
+        for e in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("atsq/{}", e.name()), k),
+                &k,
+                |b, &k| b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(e.atsq(&dataset, q, k));
+                    }
+                }),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("oatsq/{}", e.name()), k),
+                &k,
+                |b, &k| b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(e.oatsq(&dataset, q, k));
+                    }
+                }),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

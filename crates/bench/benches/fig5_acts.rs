@@ -1,0 +1,33 @@
+//! Fig. 5 — effect of the number of activities per location `|q.Φ|`.
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::QueryEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (name, dataset) = cities(0.004).remove(0);
+    let engines = atsq_core::Engine::build_all(&dataset).unwrap();
+    let mut group = c.benchmark_group(format!("fig5_acts_{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for acts in [1usize, 3, 5] {
+        let setting = Setting { acts_per_point: acts, ..Setting::default() };
+        let queries = workload(&dataset, &setting, 3, 0x5a);
+        for e in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("atsq/{}", e.name()), acts),
+                &acts,
+                |b, _| b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(e.atsq(&dataset, q, setting.k));
+                    }
+                }),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

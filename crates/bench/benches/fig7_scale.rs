@@ -1,0 +1,35 @@
+//! Fig. 7 — scalability in the dataset size `|D|` (NY samples).
+
+use atsq_bench::{workload, Setting};
+use atsq_core::QueryEngine;
+use atsq_datagen::{generate, CityConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let full = generate(&CityConfig::ny_like(0.006)).unwrap();
+    let mut group = c.benchmark_group("fig7_scale_NY");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for frac in [2usize, 6, 10] {
+        let sample = full.sample_prefix(full.len() * frac / 10);
+        let engines = atsq_core::Engine::build_all(&sample).unwrap();
+        let setting = Setting::default();
+        let queries = workload(&sample, &setting, 3, 0x7a);
+        for e in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("atsq/{}", e.name()), sample.len()),
+                &frac,
+                |b, _| b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(e.atsq(&sample, q, setting.k));
+                    }
+                }),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

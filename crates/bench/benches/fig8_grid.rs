@@ -1,0 +1,50 @@
+//! Fig. 8 — effect of the grid partition granularity on GAT.
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::{GatEngine, QueryEngine};
+use atsq_gat::GatConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (name, dataset) = cities(0.004).remove(0);
+    let mut group = c.benchmark_group(format!("fig8_grid_{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let setting = Setting::default();
+    let queries = workload(&dataset, &setting, 3, 0x8a);
+    for depth in [5u8, 6, 7, 8] {
+        let engine = GatEngine::build_with(
+            &dataset,
+            GatConfig {
+                grid_level: depth,
+                memory_level: depth.min(6),
+                ..GatConfig::default()
+            },
+        )
+        .unwrap();
+        let partitions = 1u32 << depth;
+        group.bench_with_input(
+            BenchmarkId::new("atsq/GAT", partitions),
+            &depth,
+            |b, _| b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(engine.atsq(&dataset, q, setting.k));
+                }
+            }),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oatsq/GAT", partitions),
+            &depth,
+            |b, _| b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(engine.oatsq(&dataset, q, setting.k));
+                }
+            }),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the distance kernels (Algorithms 3 and 4) and
+//! the index build paths.
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::GatEngine;
+use atsq_core::matching::{min_match_distance, order_match::min_order_match_distance};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (_, dataset) = cities(0.004).remove(0);
+    let queries = workload(&dataset, &Setting::default(), 5, 0x9a);
+    // A mid-sized trajectory for kernel benches.
+    let tr = dataset
+        .trajectories()
+        .iter()
+        .max_by_key(|t| t.len())
+        .unwrap();
+
+    c.bench_function("kernel/dmm", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(min_match_distance(q, &tr.points));
+            }
+        })
+    });
+    c.bench_function("kernel/dmom", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(min_order_match_distance(q, &tr.points, f64::INFINITY));
+            }
+        })
+    });
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("gat_index", |b| {
+        b.iter(|| std::hint::black_box(GatEngine::build(&dataset).unwrap()))
+    });
+    g.bench_function("rt_engine", |b| {
+        b.iter(|| std::hint::black_box(atsq_core::RtEngine::build(&dataset)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Storage-layer benches: the varint/delta codec, the record heap, the
+//! buffer pool under different locality regimes, and the end-to-end
+//! paged-vs-memory GAT ablation (our "APL on disk" substitution).
+
+use atsq_bench::{cities, workload, Setting};
+use atsq_core::{GatEngine, QueryEngine};
+use atsq_core::{PagedAplConfig, PagedBacking};
+use atsq_gat::GatConfig;
+use atsq_storage::{codec, BufferPool, MemPageStore, PageId, RecordHeap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    // Ascending with varied gaps, like real point-index postings.
+    let postings: Vec<u32> = (0..1000u32)
+        .scan(0u32, |acc, i| {
+            *acc += 1 + (i % 7);
+            Some(*acc)
+        })
+        .collect();
+    group.bench_function("put_ascending_1k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(2048);
+            codec::put_ascending(&mut buf, std::hint::black_box(&postings));
+            std::hint::black_box(buf)
+        })
+    });
+    let mut encoded = Vec::new();
+    codec::put_ascending(&mut encoded, &postings);
+    group.bench_function("get_ascending_1k", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            std::hint::black_box(codec::get_ascending(&encoded, &mut pos)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_heap");
+    group.bench_function("append_100_small", |b| {
+        b.iter(|| {
+            let pool = BufferPool::new(MemPageStore::new(4096).unwrap(), 16).unwrap();
+            let mut heap = RecordHeap::new(pool);
+            for i in 0..100u32 {
+                let rec = [i as u8; 40];
+                std::hint::black_box(heap.append(&rec).unwrap());
+            }
+        })
+    });
+    // Read path: hot (all resident) vs cold (one-frame pool).
+    for (label, frames) in [("hot", 64), ("cold", 1)] {
+        let pool = BufferPool::new(MemPageStore::new(4096).unwrap(), frames).unwrap();
+        let mut heap = RecordHeap::new(pool);
+        let ids: Vec<_> = (0..100u32)
+            .map(|i| heap.append(&[i as u8; 40]).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("get_100", label), &label, |b, _| {
+            b.iter(|| {
+                for &id in &ids {
+                    std::hint::black_box(heap.get(id).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool");
+    let pages = 256u64;
+    for (label, stride) in [("sequential", 1u64), ("strided_17", 17u64)] {
+        let pool = BufferPool::new(MemPageStore::new(4096).unwrap(), 32).unwrap();
+        for _ in 0..pages {
+            pool.allocate().unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("sweep_256", label), &label, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..pages {
+                    let id = PageId((i * stride) % pages);
+                    acc += pool.with_page(id, |pl| pl[0] as u64).unwrap();
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paged_vs_memory(c: &mut Criterion) {
+    let (name, dataset) = cities(0.004).remove(0);
+    let mut group = c.benchmark_group(format!("paged_apl_{name}"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let setting = Setting::default();
+    let queries = workload(&dataset, &setting, 3, 0xd1);
+
+    let mem = GatEngine::build(&dataset).unwrap();
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(mem.atsq(&dataset, q, setting.k));
+            }
+        })
+    });
+    for frames in [1024usize, 16, 1] {
+        let engine = GatEngine::build_paged(
+            &dataset,
+            GatConfig::default(),
+            &PagedAplConfig {
+                pool_frames: frames,
+                backing: PagedBacking::Memory,
+                ..PagedAplConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("paged", format!("frames{frames}")),
+            &frames,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        std::hint::black_box(engine.atsq(&dataset, q, setting.k));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_heap,
+    bench_pool_locality,
+    bench_paged_vs_memory
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Activity-mining benches: tokenizer, stemmer and the full extractor
+//! fit/extract path on a synthetic tip corpus.
+
+use atsq_text::{stem, tokenize, ActivityExtractor, ExtractorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A deterministic fake tip corpus with realistic redundancy.
+fn corpus(n: usize) -> Vec<String> {
+    let venues = [
+        "coffee shop", "art gallery", "ramen bar", "jazz club", "book store",
+        "taco truck", "wine bar", "climbing gym",
+    ];
+    let verbs = ["loved the", "great", "try the", "amazing", "best", "skip the"];
+    let extras = [
+        "espresso", "paintings", "noodles", "live music", "novels", "al pastor",
+        "riesling", "bouldering",
+    ];
+    (0..n)
+        .map(|i| {
+            format!(
+                "{} {} at this {}, really {}!",
+                verbs[i % verbs.len()],
+                extras[i % extras.len()],
+                venues[i % venues.len()],
+                extras[(i * 3 + 1) % extras.len()],
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let tips = corpus(2000);
+
+    c.bench_function("tokenize_2k_tips", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in &tips {
+                total += tokenize(std::hint::black_box(t)).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    let tokens: Vec<String> = tips.iter().flat_map(|t| tokenize(t)).collect();
+    c.bench_function("stem_corpus_tokens", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in &tokens {
+                total += stem(std::hint::black_box(t)).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    c.bench_function("extractor_fit_2k", |b| {
+        b.iter(|| {
+            std::hint::black_box(ActivityExtractor::fit(
+                tips.iter().map(String::as_str),
+                &ExtractorConfig::default(),
+            ))
+        })
+    });
+
+    let extractor = ActivityExtractor::fit(
+        tips.iter().map(String::as_str),
+        &ExtractorConfig::default(),
+    );
+    c.bench_function("extractor_extract_2k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for t in &tips {
+                total += extractor.extract(std::hint::black_box(t)).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

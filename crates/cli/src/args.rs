@@ -1,0 +1,120 @@
+//! Minimal flag parser: `--name value` pairs, repeatable flags and
+//! boolean switches. No external dependencies.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed flags: last-wins single values, accumulated repeats, and
+/// boolean switches.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+/// Parses `argv` given the sets of value-taking and boolean flag names
+/// (without the leading `--`).
+pub fn parse(
+    argv: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Flags, CliError> {
+    let mut flags = Flags::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = &argv[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected argument `{arg}`")));
+        };
+        if switch_flags.contains(&name) {
+            flags.switches.push(name.to_owned());
+        } else if value_flags.contains(&name) {
+            i += 1;
+            let value = argv
+                .get(i)
+                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+            flags.values.entry(name.to_owned()).or_default().push(value.clone());
+        } else {
+            return Err(CliError::Usage(format!("unknown flag `--{name}`")));
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    /// Last value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.values.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Required value.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parsed numeric value with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} got invalid value `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_repeats() {
+        let f = parse(
+            &sv(&["--k", "5", "--ordered", "--stop", "a", "--stop", "b"]),
+            &["k", "stop"],
+            &["ordered"],
+        )
+        .unwrap();
+        assert_eq!(f.get("k"), Some("5"));
+        assert!(f.has("ordered"));
+        assert!(!f.has("witness"));
+        assert_eq!(f.get_all("stop"), &["a".to_string(), "b".to_string()]);
+        assert_eq!(f.num::<usize>("k", 9).unwrap(), 5);
+        assert_eq!(f.num::<usize>("missing", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(parse(&sv(&["--bogus"]), &["k"], &[]).is_err());
+        assert!(parse(&sv(&["--k"]), &["k"], &[]).is_err());
+        assert!(parse(&sv(&["stray"]), &["k"], &[]).is_err());
+        let f = parse(&sv(&[]), &["k"], &[]).unwrap();
+        assert!(f.require("k").is_err());
+        assert!(f.num::<usize>("k", 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_number_is_usage_error() {
+        let f = parse(&sv(&["--k", "xyz"]), &["k"], &[]).unwrap();
+        assert!(f.num::<usize>("k", 1).is_err());
+    }
+}

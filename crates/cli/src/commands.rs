@@ -1,0 +1,424 @@
+//! The five sub-commands.
+
+use crate::args::parse;
+use crate::CliError;
+use atsq_core::{matching, Engine, GatEngine, QueryEngine};
+use atsq_datagen::CityConfig;
+use atsq_types::{ActivitySet, Dataset, Point, Query, QueryPoint};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::time::Instant;
+
+fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    let file = File::open(path)?;
+    Ok(atsq_io::read_dataset(BufReader::new(file))?)
+}
+
+fn save_dataset(dataset: &Dataset, path: &str) -> Result<(), CliError> {
+    let file = File::create(path)?;
+    atsq_io::write_dataset(dataset, BufWriter::new(file))?;
+    Ok(())
+}
+
+/// `atsq generate` — synthesise a city and snapshot it.
+pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["city", "scale", "seed", "out"], &[])?;
+    let scale: f64 = f.num("scale", 0.01)?;
+    let mut config = match f.require("city")? {
+        "la" => CityConfig::la_like(scale),
+        "ny" => CityConfig::ny_like(scale),
+        "tiny" => CityConfig::tiny(0),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--city must be la, ny or tiny (got `{other}`)"
+            )))
+        }
+    };
+    config.seed = f.num("seed", config.seed)?;
+    let path = f.require("out")?;
+    let dataset = atsq_datagen::generate(&config)?;
+    save_dataset(&dataset, path)?;
+    writeln!(
+        out,
+        "wrote {} ({} trajectories, {} check-ins) to {path}",
+        config.name,
+        dataset.len(),
+        dataset.stats().venues
+    )?;
+    Ok(())
+}
+
+/// `atsq import` — check-in CSV to snapshot. With `--tips` the fifth
+/// column is free text and activities are mined from it (tokenizer →
+/// stopwords → stemming → phrase mining, see `atsq-text`).
+pub fn import(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(
+        argv,
+        &["csv", "min-checkins", "out", "min-activity-count", "vocab-out"],
+        &["tips"],
+    )?;
+    let csv = f.require("csv")?;
+    let min: usize = f.num("min-checkins", 2)?;
+    let path = f.require("out")?;
+    let file = File::open(csv)?;
+    let dataset = if f.has("tips") {
+        let config = atsq_text::ExtractorConfig {
+            min_activity_count: f.num("min-activity-count", 3)?,
+            ..atsq_text::ExtractorConfig::default()
+        };
+        let (dataset, extractor) =
+            atsq_io::import_checkin_tips(BufReader::new(file), min, &config)?;
+        writeln!(
+            out,
+            "mined {} distinct activities from tips",
+            extractor.vocabulary_len()
+        )?;
+        if let Some(vocab_path) = f.get("vocab-out") {
+            let file = File::create(vocab_path)?;
+            atsq_io::write_extractor(&extractor, std::io::BufWriter::new(file))?;
+            writeln!(out, "wrote fitted extractor to {vocab_path}")?;
+        }
+        dataset
+    } else {
+        if f.get("vocab-out").is_some() {
+            return Err(CliError::Usage("--vocab-out requires --tips".into()));
+        }
+        atsq_io::import_checkins(BufReader::new(file), min)?
+    };
+    save_dataset(&dataset, path)?;
+    writeln!(
+        out,
+        "imported {} trajectories ({} check-ins, {} activities) to {path}",
+        dataset.len(),
+        dataset.stats().venues,
+        dataset.stats().distinct_activities
+    )?;
+    Ok(())
+}
+
+/// `atsq stats` — Table-IV style numbers for a snapshot.
+pub fn stats(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["data"], &[])?;
+    let dataset = load_dataset(f.require("data")?)?;
+    writeln!(out, "{}", dataset.stats())?;
+    let b = dataset.bounds();
+    writeln!(
+        out,
+        "bounds             {:.2} km × {:.2} km",
+        b.width(),
+        b.height()
+    )?;
+    Ok(())
+}
+
+/// Parses one `--stop "x,y:act1;act2"` specifier.
+fn parse_stop(spec: &str, dataset: &Dataset) -> Result<QueryPoint, CliError> {
+    let (coords, acts) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::Usage(format!("stop `{spec}` needs `x,y:activities`")))?;
+    let (x, y) = coords
+        .split_once(',')
+        .ok_or_else(|| CliError::Usage(format!("stop `{spec}` needs `x,y` coordinates")))?;
+    let x: f64 = x
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad x in `{spec}`")))?;
+    let y: f64 = y
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad y in `{spec}`")))?;
+    let mut ids = Vec::new();
+    for name in acts.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let id = dataset.vocabulary().get(name).ok_or_else(|| {
+            CliError::Usage(format!("activity `{name}` not in the dataset vocabulary"))
+        })?;
+        ids.push(id);
+    }
+    if ids.is_empty() {
+        return Err(CliError::Usage(format!("stop `{spec}` lists no activities")));
+    }
+    Ok(QueryPoint::new(Point::new(x, y), ActivitySet::from_ids(ids)))
+}
+
+fn build_engine(dataset: &Dataset, name: &str) -> Result<Engine, CliError> {
+    Ok(match name {
+        "gat" => Engine::Gat(GatEngine::build(dataset)?),
+        "gat-paged" => Engine::Gat(GatEngine::build_paged(
+            dataset,
+            atsq_core::GatConfig::default(),
+            &atsq_core::PagedAplConfig::default(),
+        )?),
+        "il" => Engine::Il(atsq_core::IlEngine::build(dataset)),
+        "rt" => Engine::Rt(atsq_core::RtEngine::build(dataset)),
+        "irt" => Engine::Irt(atsq_core::IrtEngine::build(dataset)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--engine must be gat, gat-paged, il, rt or irt (got `{other}`)"
+            )))
+        }
+    })
+}
+
+/// `atsq query` — run one ATSQ/OATSQ (top-k or range) and print the
+/// results, optionally with witness venues.
+pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(
+        argv,
+        &["data", "engine", "k", "range", "stop"],
+        &["ordered", "witness"],
+    )?;
+    let dataset = load_dataset(f.require("data")?)?;
+    let stops = f.get_all("stop");
+    if stops.is_empty() {
+        return Err(CliError::Usage("at least one --stop is required".into()));
+    }
+    let points: Result<Vec<QueryPoint>, CliError> =
+        stops.iter().map(|s| parse_stop(s, &dataset)).collect();
+    let query = Query::new(points?)?;
+    let engine = build_engine(&dataset, f.get("engine").unwrap_or("gat"))?;
+    let ordered = f.has("ordered");
+
+    let results = if let Some(tau) = f.get("range") {
+        let tau: f64 = tau
+            .parse()
+            .map_err(|_| CliError::Usage("--range needs a number".into()))?;
+        if ordered {
+            engine.oatsq_range(&dataset, &query, tau)
+        } else {
+            engine.atsq_range(&dataset, &query, tau)
+        }
+    } else {
+        let k: usize = f.num("k", 9)?;
+        if ordered {
+            engine.oatsq(&dataset, &query, k)
+        } else {
+            engine.atsq(&dataset, &query, k)
+        }
+    };
+
+    let label = if ordered { "Dmom" } else { "Dmm" };
+    writeln!(out, "{} result(s) [{}]:", results.len(), engine.name())?;
+    for r in &results {
+        let tr = dataset.trajectory(r.trajectory);
+        writeln!(
+            out,
+            "  {}  {label} = {:.3} km  ({} check-ins)",
+            r.trajectory,
+            r.distance,
+            tr.len()
+        )?;
+        if f.has("witness") {
+            let ws = if ordered {
+                matching::witness::min_order_match_witness(&query, &tr.points)
+            } else {
+                matching::witness::min_match_witness(&query, &tr.points)
+            };
+            if let Some(ws) = ws {
+                for (i, w) in ws.iter().enumerate() {
+                    let venues: Vec<String> =
+                        w.points.iter().map(|&p| format!("#{p}")).collect();
+                    writeln!(
+                        out,
+                        "      stop {}: venues {} at cost {:.3} km",
+                        i + 1,
+                        venues.join(", "),
+                        w.distance
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `atsq bench` — quick per-engine timing on a snapshot.
+pub fn bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["data", "queries", "k"], &[])?;
+    let dataset = load_dataset(f.require("data")?)?;
+    let n: usize = f.num("queries", 10)?;
+    let k: usize = f.num("k", 9)?;
+    let queries = atsq_datagen::generate_queries(
+        &dataset,
+        &atsq_datagen::QueryGenConfig::default(),
+        n,
+    );
+    let engines = Engine::build_all(&dataset)?;
+    writeln!(out, "{:<6}{:>14}{:>14}", "engine", "ATSQ ms", "OATSQ ms")?;
+    for e in &engines {
+        let t = Instant::now();
+        for q in &queries {
+            std::hint::black_box(e.atsq(&dataset, q, k));
+        }
+        let atsq_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
+        let t = Instant::now();
+        for q in &queries {
+            std::hint::black_box(e.oatsq(&dataset, q, k));
+        }
+        let oatsq_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
+        writeln!(out, "{:<6}{:>14.2}{:>14.2}", e.name(), atsq_ms, oatsq_ms)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let mut out = Vec::new();
+        run(&sv(args), &mut out).expect("command should succeed");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn generate_stats_query_roundtrip() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("tiny.atsq");
+        let snap = snap.to_str().unwrap();
+
+        let msg = run_ok(&["generate", "--city", "tiny", "--out", snap]);
+        assert!(msg.contains("trajectories"), "{msg}");
+
+        let stats = run_ok(&["stats", "--data", snap]);
+        assert!(stats.contains("#trajectory"), "{stats}");
+
+        // Query with a real activity name from the generated dataset.
+        let dataset = load_dataset(snap).unwrap();
+        let name = dataset.vocabulary().name(atsq_types::ActivityId(0)).unwrap();
+        let stop = format!("10.0,10.0:{name}");
+        let q = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "3", "--witness"]);
+        assert!(q.contains("result(s) [GAT]"), "{q}");
+
+        let range = run_ok(&[
+            "query", "--data", snap, "--stop", &stop, "--range", "100.0", "--engine", "il",
+        ]);
+        assert!(range.contains("[IL]"), "{range}");
+
+        let bench = run_ok(&["bench", "--data", snap, "--queries", "2"]);
+        assert!(bench.contains("GAT"), "{bench}");
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn import_roundtrip() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("log.csv");
+        std::fs::write(
+            &csv,
+            "u1,34.05,-118.25,100,coffee\nu1,34.06,-118.20,200,art\nu2,34.0,-118.2,1,x\nu2,34.1,-118.3,2,coffee\n",
+        )
+        .unwrap();
+        let snap = dir.join("imported.atsq");
+        let msg = run_ok(&[
+            "import",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ]);
+        assert!(msg.contains("imported 2 trajectories"), "{msg}");
+        let stats = run_ok(&["stats", "--data", snap.to_str().unwrap()]);
+        assert!(stats.contains("#venue"), "{stats}");
+        std::fs::remove_file(csv).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn tips_import_mines_activities() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("tips.csv");
+        std::fs::write(
+            &csv,
+            "\
+u1,34.05,-118.25,100,great espresso here
+u1,34.06,-118.20,200,went hiking on the trail
+u2,34.00,-118.20,10,the espresso is strong
+u2,34.10,-118.30,20,hiking with a view
+",
+        )
+        .unwrap();
+        let snap = dir.join("tips.atsq");
+        let vocab = dir.join("tips.vocab");
+        let msg = run_ok(&[
+            "import",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--tips",
+            "--min-activity-count",
+            "2",
+            "--vocab-out",
+            vocab.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ]);
+        assert!(msg.contains("mined"), "{msg}");
+        assert!(msg.contains("imported 2 trajectories"), "{msg}");
+        // The persisted extractor loads and still maps the same words.
+        let file = std::fs::File::open(&vocab).unwrap();
+        let ex = atsq_io::read_extractor(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(ex.extract("strong espresso"), vec!["espresso"]);
+        std::fs::remove_file(&vocab).ok();
+        // The mined vocabulary is queryable end to end.
+        let q = run_ok(&[
+            "query",
+            "--data",
+            snap.to_str().unwrap(),
+            "--stop",
+            "0.0,0.0:espresso",
+            "--k",
+            "2",
+        ]);
+        assert!(q.contains("result(s)"), "{q}");
+        std::fs::remove_file(csv).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn paged_engine_answers_like_memory() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("paged.atsq");
+        let snap = snap.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--out", snap]);
+        let dataset = load_dataset(snap).unwrap();
+        let name = dataset.vocabulary().name(atsq_types::ActivityId(0)).unwrap();
+        let stop = format!("10.0,10.0:{name}");
+        let mem = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "3"]);
+        let paged = run_ok(&[
+            "query", "--data", snap, "--stop", &stop, "--k", "3", "--engine", "gat-paged",
+        ]);
+        assert_eq!(mem, paged);
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = Vec::new();
+        assert!(run(&sv(&[]), &mut out).is_err());
+        assert!(run(&sv(&["frobnicate"]), &mut out).is_err());
+        assert!(run(&sv(&["generate", "--city", "mars", "--out", "/tmp/x"]), &mut out).is_err());
+        assert!(run(&sv(&["query", "--data", "/nonexistent"]), &mut out).is_err());
+        // help works
+        run(&sv(&["help"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_stop_validates() {
+        let dataset = atsq_datagen::generate(&CityConfig::tiny(1)).unwrap();
+        assert!(parse_stop("1,2:act000000", &dataset).is_ok());
+        assert!(parse_stop("1;2:act000000", &dataset).is_err());
+        assert!(parse_stop("1,2:", &dataset).is_err());
+        assert!(parse_stop("1,2:not-an-activity", &dataset).is_err());
+        assert!(parse_stop("x,2:act000000", &dataset).is_err());
+        assert!(parse_stop("no-colon", &dataset).is_err());
+    }
+}

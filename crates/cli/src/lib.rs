@@ -1,0 +1,86 @@
+//! Library half of the `atsq` command-line tool.
+//!
+//! All functionality is in the library so it can be unit-tested
+//! without spawning processes; `main.rs` only forwards `std::env`
+//! arguments and maps errors to exit codes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level errors (usage problems or propagated library errors).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Underlying library failure.
+    Lib(atsq_types::Error),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Lib(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<atsq_types::Error> for CliError {
+    fn from(e: atsq_types::Error) -> Self {
+        CliError::Lib(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+atsq — activity trajectory search (ICDE'13 reproduction)
+
+USAGE:
+  atsq generate --city <la|ny|tiny> [--scale S] [--seed N] --out FILE
+  atsq import   --csv FILE [--min-checkins N] [--tips
+                [--min-activity-count N] [--vocab-out FILE]] --out FILE
+  atsq stats    --data FILE
+  atsq query    --data FILE [--engine gat|gat-paged|il|rt|irt] [--k N]
+                [--ordered] [--range TAU] --stop \"x,y:act1;act2\"
+                [--stop ...] [--witness]
+  atsq bench    --data FILE [--queries N] [--k N]
+
+Datasets are `atsq v1` text snapshots (see atsq-io). Activities in
+--stop are names from the dataset vocabulary. With --tips the CSV's
+fifth column is free text and activities are mined from it.";
+
+/// Entry point shared by `main` and tests.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError::Usage("missing sub-command".into()));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => commands::generate(rest, out),
+        "import" => commands::import(rest, out),
+        "stats" => commands::stats(rest, out),
+        "query" => commands::query(rest, out),
+        "bench" => commands::bench(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown sub-command `{other}`"))),
+    }
+}

@@ -1,0 +1,13 @@
+//! `atsq` — command-line front end. See `atsq help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = atsq_cli::run(&argv, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(match e {
+            atsq_cli::CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,106 @@
+//! Parallel batch query execution.
+//!
+//! Every engine in this workspace is read-only after construction
+//! (`&self` queries; the GAT I/O counters are atomics), so a batch of
+//! queries parallelises trivially across threads. This module provides
+//! a scoped-thread executor that preserves the input order of results
+//! — useful for benchmark sweeps and for serving workloads without an
+//! async runtime.
+
+use crate::QueryEngine;
+use atsq_types::{Dataset, Query, QueryResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which of the paper's two query types to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Order-free ATSQ (§II).
+    Atsq,
+    /// Order-sensitive OATSQ (§VI).
+    Oatsq,
+}
+
+/// Runs `queries` against `engine` on `threads` worker threads,
+/// returning the per-query top-`k` lists in input order.
+///
+/// Work is distributed by an atomic cursor, so skewed per-query costs
+/// (common with OATSQ) still balance. `threads = 1` degenerates to a
+/// sequential loop with no thread spawn.
+pub fn run_batch<E: QueryEngine + Sync>(
+    engine: &E,
+    dataset: &Dataset,
+    queries: &[Query],
+    k: usize,
+    kind: QueryKind,
+    threads: usize,
+) -> Vec<Vec<QueryResult>> {
+    let threads = threads.max(1);
+    let run_one = |q: &Query| match kind {
+        QueryKind::Atsq => engine.atsq(dataset, q, k),
+        QueryKind::Oatsq => engine.oatsq(dataset, q, k),
+    };
+    if threads == 1 || queries.len() <= 1 {
+        return queries.iter().map(run_one).collect();
+    }
+
+    let mut results: Vec<Option<Vec<QueryResult>>> = vec![None; queries.len()];
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<Vec<QueryResult>>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(queries.len()) {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let out = run_one(&queries[i]);
+                **slots[i].lock().expect("slot mutex") = Some(out);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every query slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GatEngine;
+    use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let dataset = generate(&CityConfig::tiny(5)).unwrap();
+        let engine = GatEngine::build(&dataset).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 12);
+        for kind in [QueryKind::Atsq, QueryKind::Oatsq] {
+            let seq = run_batch(&engine, &dataset, &queries, 5, kind, 1);
+            let par = run_batch(&engine, &dataset, &queries, 5, kind, 4);
+            assert_eq!(seq, par, "{kind:?} results diverge under threading");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let dataset = generate(&CityConfig::tiny(6)).unwrap();
+        let engine = GatEngine::build(&dataset).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 2);
+        let out = run_batch(&engine, &dataset, &queries, 3, QueryKind::Atsq, 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let dataset = generate(&CityConfig::tiny(7)).unwrap();
+        let engine = GatEngine::build(&dataset).unwrap();
+        let out = run_batch(&engine, &dataset, &[], 3, QueryKind::Atsq, 4);
+        assert!(out.is_empty());
+    }
+}

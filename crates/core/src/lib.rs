@@ -1,0 +1,315 @@
+//! `atsq-core` — the public facade of the activity-trajectory search
+//! library, reproducing *Towards Efficient Search for Activity
+//! Trajectories* (Zheng, Shang, Yuan & Yang, ICDE 2013).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use atsq_core::prelude::*;
+//!
+//! // Build a small dataset by hand (normally: atsq-datagen or your
+//! // own check-in import).
+//! let mut b = DatasetBuilder::new();
+//! let coffee = b.observe_activity("coffee");
+//! let art = b.observe_activity("art");
+//! b.push_trajectory(vec![
+//!     TrajectoryPoint::new(Point::new(0.0, 0.0), ActivitySet::from_ids([coffee])),
+//!     TrajectoryPoint::new(Point::new(1.0, 0.0), ActivitySet::from_ids([art])),
+//! ]);
+//! let dataset = b.finish().unwrap();
+//!
+//! // Index it with GAT and run an ATSQ.
+//! let engine = GatEngine::build(&dataset).unwrap();
+//! let coffee = dataset.vocabulary().get("coffee").unwrap();
+//! let art = dataset.vocabulary().get("art").unwrap();
+//! let query = Query::new(vec![
+//!     QueryPoint::new(Point::new(0.1, 0.0), ActivitySet::from_ids([coffee])),
+//!     QueryPoint::new(Point::new(0.9, 0.0), ActivitySet::from_ids([art])),
+//! ]).unwrap();
+//! let top = engine.atsq(&dataset, &query, 1);
+//! assert_eq!(top.len(), 1);
+//! ```
+//!
+//! # Engines
+//!
+//! Four interchangeable [`QueryEngine`] implementations exist, matching
+//! the paper's evaluation line-up:
+//!
+//! | Engine | Index | Paper section |
+//! |---|---|---|
+//! | [`GatEngine`] | hierarchical grid + HICL/ITL/TAS/APL | §IV–§VI |
+//! | [`IlEngine`] | per-activity inverted lists | §III-A |
+//! | [`RtEngine`] | R-tree over points | §III-B |
+//! | [`IrtEngine`] | IR-tree (R-tree + inverted files) | §III-C |
+//!
+//! All four return *identical* results for the same query; they differ
+//! only in how fast they prune. Property tests in `tests/` assert this
+//! agreement.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod profile;
+
+pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
+pub use profile::{EngineCounters, Profiled};
+pub use atsq_gat::{GatConfig, GatIndex, PagedAplConfig, PagedBacking};
+pub use batch::{run_batch, QueryKind};
+pub use atsq_matching as matching;
+pub use atsq_types as types;
+
+use atsq_types::{Dataset, Query, QueryResult, Result};
+
+/// A ready-to-use prelude: the types needed by typical applications.
+pub mod prelude {
+    pub use crate::{Engine, GatEngine, QueryEngine};
+    pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
+    pub use atsq_gat::GatConfig;
+    pub use atsq_types::{
+        ActivityId, ActivitySet, Dataset, DatasetBuilder, Point, Query, QueryPoint,
+        QueryResult, Rect, Trajectory, TrajectoryId, TrajectoryPoint,
+    };
+}
+
+/// The two query types of the paper behind one interface, plus their
+/// threshold (range) variants.
+pub trait QueryEngine {
+    /// Activity Trajectory Similarity Query: top-`k` by `Dmm`.
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult>;
+    /// Order-sensitive ATSQ: top-`k` by `Dmom`.
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult>;
+    /// Every trajectory with `Dmm(Q, Tr) ≤ tau`, ascending.
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult>;
+    /// Every trajectory with `Dmom(Q, Tr) ≤ tau`, ascending.
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult>;
+    /// Short engine label for reports ("GAT", "IL", "RT", "IRT").
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's proposed engine: a [`GatIndex`] behind [`QueryEngine`].
+#[derive(Debug)]
+pub struct GatEngine {
+    index: GatIndex,
+}
+
+impl GatEngine {
+    /// Builds the GAT index with default (paper) configuration.
+    pub fn build(dataset: &Dataset) -> Result<Self> {
+        Ok(GatEngine {
+            index: GatIndex::build(dataset)?,
+        })
+    }
+
+    /// Builds with an explicit configuration.
+    pub fn build_with(dataset: &Dataset, config: GatConfig) -> Result<Self> {
+        Ok(GatEngine {
+            index: GatIndex::build_with(dataset, config)?,
+        })
+    }
+
+    /// Builds with the APL on real pages behind a buffer pool. Results
+    /// are identical to the in-memory backends; the buffer-pool
+    /// counters (`engine.index().apl().pool_stats()`) report measured
+    /// page traffic.
+    pub fn build_paged(
+        dataset: &Dataset,
+        config: GatConfig,
+        apl_config: &PagedAplConfig,
+    ) -> Result<Self> {
+        Ok(GatEngine {
+            index: GatIndex::build_paged(dataset, config, apl_config)?,
+        })
+    }
+
+    /// The underlying index (stats, memory reports).
+    pub fn index(&self) -> &GatIndex {
+        &self.index
+    }
+}
+
+impl QueryEngine for GatEngine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        atsq_gat::atsq(&self.index, dataset, query, k)
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        atsq_gat::oatsq(&self.index, dataset, query, k)
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        atsq_gat::atsq_range(&self.index, dataset, query, tau)
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        atsq_gat::oatsq_range(&self.index, dataset, query, tau)
+    }
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+}
+
+impl QueryEngine for IlEngine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        IlEngine::atsq(self, dataset, query, k)
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        IlEngine::oatsq(self, dataset, query, k)
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        IlEngine::atsq_range(self, dataset, query, tau)
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        IlEngine::oatsq_range(self, dataset, query, tau)
+    }
+    fn name(&self) -> &'static str {
+        "IL"
+    }
+}
+
+impl QueryEngine for RtEngine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        RtEngine::atsq(self, dataset, query, k)
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        RtEngine::oatsq(self, dataset, query, k)
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        RtEngine::atsq_range(self, dataset, query, tau)
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        RtEngine::oatsq_range(self, dataset, query, tau)
+    }
+    fn name(&self) -> &'static str {
+        "RT"
+    }
+}
+
+impl QueryEngine for IrtEngine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        IrtEngine::atsq(self, dataset, query, k)
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        IrtEngine::oatsq(self, dataset, query, k)
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        IrtEngine::atsq_range(self, dataset, query, tau)
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        IrtEngine::oatsq_range(self, dataset, query, tau)
+    }
+    fn name(&self) -> &'static str {
+        "IRT"
+    }
+}
+
+/// Owned enum over the four engines, convenient for benchmark sweeps.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // engines are built once and never moved
+pub enum Engine {
+    /// The paper's GAT engine.
+    Gat(GatEngine),
+    /// Inverted-list baseline.
+    Il(IlEngine),
+    /// R-tree baseline.
+    Rt(RtEngine),
+    /// IR-tree baseline.
+    Irt(IrtEngine),
+}
+
+impl Engine {
+    /// Builds every engine for a dataset, in the paper's order
+    /// (IL, RT, IRT, GAT).
+    pub fn build_all(dataset: &Dataset) -> Result<Vec<Engine>> {
+        Ok(vec![
+            Engine::Il(IlEngine::build(dataset)),
+            Engine::Rt(RtEngine::build(dataset)),
+            Engine::Irt(IrtEngine::build(dataset)),
+            Engine::Gat(GatEngine::build(dataset)?),
+        ])
+    }
+}
+
+impl QueryEngine for Engine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        match self {
+            Engine::Gat(e) => e.atsq(dataset, query, k),
+            Engine::Il(e) => QueryEngine::atsq(e, dataset, query, k),
+            Engine::Rt(e) => QueryEngine::atsq(e, dataset, query, k),
+            Engine::Irt(e) => QueryEngine::atsq(e, dataset, query, k),
+        }
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        match self {
+            Engine::Gat(e) => e.oatsq(dataset, query, k),
+            Engine::Il(e) => QueryEngine::oatsq(e, dataset, query, k),
+            Engine::Rt(e) => QueryEngine::oatsq(e, dataset, query, k),
+            Engine::Irt(e) => QueryEngine::oatsq(e, dataset, query, k),
+        }
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        match self {
+            Engine::Gat(e) => QueryEngine::atsq_range(e, dataset, query, tau),
+            Engine::Il(e) => QueryEngine::atsq_range(e, dataset, query, tau),
+            Engine::Rt(e) => QueryEngine::atsq_range(e, dataset, query, tau),
+            Engine::Irt(e) => QueryEngine::atsq_range(e, dataset, query, tau),
+        }
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        match self {
+            Engine::Gat(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
+            Engine::Il(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
+            Engine::Rt(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
+            Engine::Irt(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
+        }
+    }
+    fn name(&self) -> &'static str {
+        match self {
+            Engine::Gat(e) => e.name(),
+            Engine::Il(e) => e.name(),
+            Engine::Rt(e) => e.name(),
+            Engine::Irt(e) => e.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+    #[test]
+    fn all_engines_agree_on_generated_data() {
+        let dataset = generate(&CityConfig::tiny(17)).unwrap();
+        let engines = Engine::build_all(&dataset).unwrap();
+        let queries = generate_queries(
+            &dataset,
+            &QueryGenConfig {
+                query_points: 2,
+                acts_per_point: 2,
+                ..Default::default()
+            },
+            5,
+        );
+        for q in &queries {
+            let reference = engines[0].atsq(&dataset, q, 5);
+            for e in &engines[1..] {
+                assert_eq!(e.atsq(&dataset, q, 5), reference, "{} diverged", e.name());
+            }
+            let reference_o = engines[0].oatsq(&dataset, q, 5);
+            for e in &engines[1..] {
+                assert_eq!(
+                    e.oatsq(&dataset, q, 5),
+                    reference_o,
+                    "{} diverged (ordered)",
+                    e.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_names() {
+        let dataset = generate(&CityConfig::tiny(1)).unwrap();
+        let engines = Engine::build_all(&dataset).unwrap();
+        let names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["IL", "RT", "IRT", "GAT"]);
+    }
+}

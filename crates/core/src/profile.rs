@@ -1,0 +1,177 @@
+//! Unified per-engine work counters.
+//!
+//! The paper argues GAT wins because it prunes with location and
+//! activity *simultaneously*; wall-clock alone cannot show that. Every
+//! engine already counts its work (trajectory fetches in the baselines,
+//! the full [`atsq_gat::IoStats`] pipeline in GAT); this module puts
+//! those counters behind one [`EngineCounters`] snapshot so experiments
+//! can report pruning power next to latency.
+
+use crate::{Engine, GatEngine};
+use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
+
+/// Work performed by an engine since the last reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCounters {
+    /// Candidate trajectories considered.
+    pub candidates: u64,
+    /// Full match-distance evaluations (`Dmm` / `Dmom`).
+    pub distance_evals: u64,
+    /// Candidates discarded by the TAS sketch before touching data
+    /// (GAT only; zero elsewhere).
+    pub tas_pruned: u64,
+    /// TAS passes later refuted by the APL (sketch false positives).
+    pub tas_false_positives: u64,
+    /// APL posting-list fetches (GAT only).
+    pub apl_reads: u64,
+    /// Cold HICL accesses — index pages the paper serves from disk
+    /// (GAT only).
+    pub cold_reads: u64,
+}
+
+impl EngineCounters {
+    /// Fraction of candidates eliminated before a distance evaluation.
+    pub fn prune_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            1.0 - self.distance_evals as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Engines that expose their work counters.
+pub trait Profiled {
+    /// Snapshot of the counters since the last reset.
+    fn counters(&self) -> EngineCounters;
+    /// Zeroes the counters.
+    fn reset_counters(&self);
+}
+
+impl Profiled for GatEngine {
+    fn counters(&self) -> EngineCounters {
+        let s = self.index().stats().snapshot();
+        EngineCounters {
+            candidates: s.candidates_retrieved,
+            distance_evals: s.distances_computed,
+            // Every candidate that passes the sketch proceeds to the
+            // APL, so the TAS discards are checks minus APL reads.
+            tas_pruned: s.tas_checks.saturating_sub(s.apl_reads),
+            tas_false_positives: s.tas_false_positives,
+            apl_reads: s.apl_reads,
+            cold_reads: s.hicl_cold_reads,
+        }
+    }
+    fn reset_counters(&self) {
+        self.index().stats().reset();
+        self.index().apl().reset_pool_stats();
+    }
+}
+
+/// The baselines evaluate the distance of every trajectory they fetch,
+/// so `candidates == distance_evals == fetches`.
+macro_rules! profiled_baseline {
+    ($engine:ty) => {
+        impl Profiled for $engine {
+            fn counters(&self) -> EngineCounters {
+                let fetches = self.fetches();
+                EngineCounters {
+                    candidates: fetches,
+                    distance_evals: fetches,
+                    ..EngineCounters::default()
+                }
+            }
+            fn reset_counters(&self) {
+                self.reset_fetches();
+            }
+        }
+    };
+}
+
+profiled_baseline!(IlEngine);
+profiled_baseline!(RtEngine);
+profiled_baseline!(IrtEngine);
+
+impl Profiled for Engine {
+    fn counters(&self) -> EngineCounters {
+        match self {
+            Engine::Gat(e) => e.counters(),
+            Engine::Il(e) => e.counters(),
+            Engine::Rt(e) => e.counters(),
+            Engine::Irt(e) => e.counters(),
+        }
+    }
+    fn reset_counters(&self) {
+        match self {
+            Engine::Gat(e) => e.reset_counters(),
+            Engine::Il(e) => e.reset_counters(),
+            Engine::Rt(e) => e.reset_counters(),
+            Engine::Irt(e) => e.reset_counters(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryEngine;
+    use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+    #[test]
+    fn counters_track_work_and_reset() {
+        let dataset = generate(&CityConfig::tiny(5)).unwrap();
+        let engines = Engine::build_all(&dataset).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 4);
+        for e in &engines {
+            e.reset_counters();
+            assert_eq!(e.counters(), EngineCounters::default(), "{}", e.name());
+            let mut results = 0;
+            for q in &queries {
+                results += e.atsq(&dataset, q, 5).len();
+            }
+            let c = e.counters();
+            if results > 0 {
+                assert!(c.candidates > 0, "{} saw no candidates", e.name());
+                assert!(c.distance_evals > 0, "{}", e.name());
+                assert!(c.distance_evals <= c.candidates, "{}", e.name());
+            }
+            e.reset_counters();
+            assert_eq!(e.counters(), EngineCounters::default());
+        }
+    }
+
+    #[test]
+    fn gat_prunes_where_baselines_cannot() {
+        let dataset = generate(&CityConfig::tiny(21)).unwrap();
+        let engines = Engine::build_all(&dataset).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 6);
+        let mut by_name = std::collections::HashMap::new();
+        for e in &engines {
+            e.reset_counters();
+            for q in &queries {
+                let _ = e.atsq(&dataset, q, 5);
+            }
+            by_name.insert(e.name(), e.counters());
+        }
+        let gat = by_name["GAT"];
+        let il = by_name["IL"];
+        // GAT's pipeline counters only exist for GAT.
+        assert!(gat.apl_reads > 0);
+        assert_eq!(il.apl_reads, 0);
+        assert_eq!(il.prune_ratio(), 0.0);
+        // GAT evaluates no more distances than the activity-only
+        // baseline, which must refine every activity match.
+        assert!(gat.distance_evals <= il.distance_evals);
+    }
+
+    #[test]
+    fn prune_ratio_bounds() {
+        let c = EngineCounters {
+            candidates: 10,
+            distance_evals: 3,
+            ..EngineCounters::default()
+        };
+        assert!((c.prune_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(EngineCounters::default().prune_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! City model: hotspots, venues and user trajectories.
+
+use crate::zipf::Zipf;
+use atsq_types::{ActivitySet, Dataset, DatasetBuilder, Point, Result, TrajectoryPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one synthetic city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// City label (used in reports only).
+    pub name: String,
+    /// Side length of the square city plane, in kilometres.
+    pub extent_km: f64,
+    /// Number of Gaussian venue hotspots.
+    pub hotspots: usize,
+    /// Standard deviation of venue scatter around a hotspot (km).
+    pub hotspot_sigma_km: f64,
+    /// Size of the venue pool.
+    pub venues: usize,
+    /// Activity vocabulary cardinality.
+    pub vocabulary: usize,
+    /// Zipf exponent of activity popularity.
+    pub zipf_s: f64,
+    /// Number of trajectories (users).
+    pub trajectories: usize,
+    /// Mean check-ins per trajectory (geometric length distribution,
+    /// minimum 2).
+    pub mean_length: f64,
+    /// Maximum activities attached to one venue.
+    pub max_acts_per_venue: usize,
+    /// Probability that a venue activity is drawn from the small
+    /// "category" pool of very common activities (coffee, pizza, …)
+    /// rather than the full Zipf tail of tip words. Foursquare-like
+    /// data is category-heavy, which is what gives the paper's IL
+    /// baseline its large candidate sets.
+    pub category_bias: f64,
+    /// Size of the category pool (top ranks of the vocabulary).
+    pub category_pool: usize,
+    /// RNG seed for full reproducibility.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// A Los-Angeles-like city. At `scale = 1.0` the row counts match
+    /// the paper's Table IV (31,557 trajectories; ≈3.16 M activity
+    /// occurrences over ≈87.5 K distinct activities). LA trajectories
+    /// are activity-rich: ~100 occurrences each.
+    pub fn la_like(scale: f64) -> Self {
+        CityConfig {
+            name: "LA".into(),
+            extent_km: 60.0,
+            hotspots: 60,
+            hotspot_sigma_km: 1.5,
+            venues: scaled(215_614, scale),
+            vocabulary: scaled(87_567, scale).max(50),
+            zipf_s: 1.0,
+            trajectories: scaled(31_557, scale),
+            mean_length: 66.0,
+            max_acts_per_venue: 3,
+            category_bias: 0.7,
+            category_pool: 40,
+            seed: 0x1a,
+        }
+    }
+
+    /// A New-York-like city (49,027 trajectories at full scale; fewer
+    /// activities per trajectory than LA, mirroring Table IV).
+    pub fn ny_like(scale: f64) -> Self {
+        CityConfig {
+            name: "NY".into(),
+            extent_km: 50.0,
+            hotspots: 80,
+            hotspot_sigma_km: 1.0,
+            venues: scaled(206_416, scale),
+            vocabulary: scaled(64_649, scale).max(50),
+            zipf_s: 1.0,
+            trajectories: scaled(49_027, scale),
+            mean_length: 28.0,
+            max_acts_per_venue: 3,
+            category_bias: 0.7,
+            category_pool: 40,
+            seed: 0x2b,
+        }
+    }
+
+    /// A tiny city for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CityConfig {
+            name: "tiny".into(),
+            extent_km: 20.0,
+            hotspots: 5,
+            hotspot_sigma_km: 1.0,
+            venues: 200,
+            vocabulary: 40,
+            zipf_s: 1.0,
+            trajectories: 50,
+            mean_length: 8.0,
+            max_acts_per_venue: 3,
+            category_bias: 0.6,
+            category_pool: 10,
+            seed,
+        }
+    }
+}
+
+fn scaled(full: usize, scale: f64) -> usize {
+    ((full as f64 * scale).round() as usize).max(1)
+}
+
+/// One generated venue.
+struct Venue {
+    loc: Point,
+    hotspot: usize,
+    activities: Vec<u32>,
+}
+
+/// Generates the dataset for a city configuration.
+///
+/// Deterministic in `config.seed`. Activity ids in the result are
+/// frequency-ranked (the `DatasetBuilder` default), as the GAT TAS
+/// component requires.
+pub fn generate(config: &CityConfig) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let extent = config.extent_km;
+
+    // Hotspot centres, uniform over the plane; hotspot popularity is
+    // itself Zipf-distributed (downtown vs. suburbs).
+    let centers: Vec<Point> = (0..config.hotspots)
+        .map(|_| Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+        .collect();
+    let hotspot_pop = Zipf::new(config.hotspots, 0.8);
+    let activity_pop = Zipf::new(config.vocabulary, config.zipf_s);
+    let category_pop = Zipf::new(config.category_pool.min(config.vocabulary).max(1), config.zipf_s);
+
+    // Venue pool.
+    let venues: Vec<Venue> = (0..config.venues)
+        .map(|_| {
+            let h = hotspot_pop.sample(&mut rng);
+            let c = centers[h];
+            let loc = Point::new(
+                clamp(c.x + gaussian(&mut rng) * config.hotspot_sigma_km, extent),
+                clamp(c.y + gaussian(&mut rng) * config.hotspot_sigma_km, extent),
+            );
+            let n_acts = rng.gen_range(1..=config.max_acts_per_venue);
+            let mut acts: Vec<u32> = (0..n_acts)
+                .map(|_| {
+                    if rng.gen::<f64>() < config.category_bias {
+                        category_pop.sample(&mut rng) as u32
+                    } else {
+                        activity_pop.sample(&mut rng) as u32
+                    }
+                })
+                .collect();
+            acts.sort_unstable();
+            acts.dedup();
+            Venue {
+                loc,
+                hotspot: h,
+                activities: acts,
+            }
+        })
+        .collect();
+
+    // Venues bucketed by hotspot for locality-aware walks.
+    let mut by_hotspot: Vec<Vec<usize>> = vec![Vec::new(); config.hotspots];
+    for (i, v) in venues.iter().enumerate() {
+        by_hotspot[v.hotspot].push(i);
+    }
+    // Precompute each hotspot's nearest neighbours for the walk.
+    let neighbors: Vec<Vec<usize>> = centers
+        .iter()
+        .map(|c| {
+            let mut order: Vec<usize> = (0..config.hotspots).collect();
+            order.sort_by(|&a, &b| {
+                c.dist(&centers[a])
+                    .partial_cmp(&c.dist(&centers[b]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order.into_iter().take(6).collect()
+        })
+        .collect();
+
+    // Intern the vocabulary up front so ids are dense.
+    let mut builder = DatasetBuilder::new();
+    let ids: Vec<atsq_types::ActivityId> = (0..config.vocabulary)
+        .map(|i| builder.vocabulary_mut().intern(&format!("act{i:06}")))
+        .collect();
+
+    for _ in 0..config.trajectories {
+        // Geometric length with the configured mean, at least 2.
+        let p = 1.0 / config.mean_length.max(2.0);
+        let mut len = 2usize;
+        while rng.gen::<f64>() > p && len < 4 * config.mean_length as usize + 8 {
+            len += 1;
+        }
+        let mut hotspot = hotspot_pop.sample(&mut rng);
+        let mut points = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Mostly stay local; sometimes hop to a neighbouring
+            // hotspot, rarely jump anywhere.
+            let r: f64 = rng.gen();
+            if r < 0.15 {
+                let nb = &neighbors[hotspot];
+                hotspot = nb[rng.gen_range(0..nb.len())];
+            } else if r < 0.20 {
+                hotspot = hotspot_pop.sample(&mut rng);
+            }
+            let pool = &by_hotspot[hotspot];
+            if pool.is_empty() {
+                continue;
+            }
+            let v = &venues[pool[rng.gen_range(0..pool.len())]];
+            let acts = ActivitySet::from_ids(
+                v.activities.iter().map(|&a| ids[a as usize]),
+            );
+            for a in acts.iter() {
+                builder.vocabulary_mut().add_count(a, 1);
+            }
+            points.push(TrajectoryPoint::new(v.loc, acts));
+        }
+        if points.len() < 2 {
+            // Degenerate walk (empty hotspot pools): place two venues
+            // from the global pool so every trajectory is non-trivial.
+            for _ in points.len()..2 {
+                let v = &venues[rng.gen_range(0..venues.len())];
+                let acts = ActivitySet::from_ids(
+                    v.activities.iter().map(|&a| ids[a as usize]),
+                );
+                for a in acts.iter() {
+                    builder.vocabulary_mut().add_count(a, 1);
+                }
+                points.push(TrajectoryPoint::new(v.loc, acts));
+            }
+        }
+        builder.push_trajectory(points);
+    }
+
+    builder.finish()
+}
+
+fn clamp(v: f64, extent: f64) -> f64 {
+    v.clamp(0.0, extent)
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CityConfig::tiny(9);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.trajectories().iter().zip(b.trajectories()) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CityConfig::tiny(1)).unwrap();
+        let b = generate(&CityConfig::tiny(2)).unwrap();
+        assert_ne!(
+            a.trajectories()[0].points[0].loc,
+            b.trajectories()[0].points[0].loc
+        );
+    }
+
+    #[test]
+    fn respects_configured_counts() {
+        let cfg = CityConfig::tiny(5);
+        let d = generate(&cfg).unwrap();
+        assert_eq!(d.len(), cfg.trajectories);
+        let stats = d.stats();
+        assert!(stats.distinct_activities <= cfg.vocabulary);
+        assert!(stats.venues >= 2 * cfg.trajectories);
+        // Every trajectory has at least 2 points.
+        assert!(d.trajectories().iter().all(|t| t.len() >= 2));
+    }
+
+    #[test]
+    fn points_stay_within_extent() {
+        let cfg = CityConfig::tiny(11);
+        let d = generate(&cfg).unwrap();
+        for tr in d.trajectories() {
+            for p in &tr.points {
+                assert!(p.loc.x >= 0.0 && p.loc.x <= cfg.extent_km);
+                assert!(p.loc.y >= 0.0 && p.loc.y <= cfg.extent_km);
+            }
+        }
+    }
+
+    #[test]
+    fn activity_ids_are_frequency_ranked() {
+        let d = generate(&CityConfig::tiny(13)).unwrap();
+        let v = d.vocabulary();
+        let counts: Vec<u64> = (0..v.len() as u32)
+            .map(|i| v.count(atsq_types::ActivityId(i)))
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "ids not ranked by frequency: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn la_and_ny_presets_scale() {
+        let la = CityConfig::la_like(0.01);
+        assert_eq!(la.trajectories, 316);
+        assert_eq!(la.venues, 2156);
+        let ny = CityConfig::ny_like(0.01);
+        assert_eq!(ny.trajectories, 490);
+        assert!(ny.mean_length < la.mean_length);
+        // Generate a small one end-to-end.
+        let d = generate(&CityConfig::la_like(0.002)).unwrap();
+        assert_eq!(d.len(), 63);
+    }
+
+    #[test]
+    fn mean_length_is_roughly_respected() {
+        let mut cfg = CityConfig::tiny(21);
+        cfg.trajectories = 300;
+        cfg.mean_length = 10.0;
+        let d = generate(&cfg).unwrap();
+        let mean = d.stats().venues as f64 / d.len() as f64;
+        assert!((6.0..16.0).contains(&mean), "mean length {mean}");
+    }
+}

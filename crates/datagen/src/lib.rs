@@ -1,0 +1,31 @@
+//! Synthetic Foursquare-like check-in data (§VII-A substitute).
+//!
+//! The paper evaluates on crawled Foursquare check-ins from Los Angeles
+//! and New York, which are not redistributable. This crate generates
+//! the closest synthetic equivalent, reproducing the statistics that
+//! drive index and pruning behaviour:
+//!
+//! * **spatial clustering** — venues are drawn from a mixture of
+//!   Gaussian hotspots (commercial districts) over a city-scale plane;
+//! * **Zipfian activity skew** — activity frequencies follow a Zipf
+//!   law over a large vocabulary, like words in Foursquare tips;
+//! * **trajectory locality** — users hop between nearby hotspots, so
+//!   consecutive check-ins are spatially correlated;
+//! * **scale** — the [`CityConfig::la_like`] / [`CityConfig::ny_like`]
+//!   presets match Table IV's row counts at `scale = 1.0` and shrink
+//!   proportionally for fast tests and benches.
+//!
+//! Queries are produced per §VII-A: pick a random trajectory, select
+//! `|Q|` of its locations and `|q.Φ|` activities per location, with
+//! optional exact-diameter control for the Fig. 6 sweep.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod city;
+pub mod query_gen;
+pub mod zipf;
+
+pub use city::{generate, CityConfig};
+pub use query_gen::{generate_queries, QueryGenConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,284 @@
+//! HICL — the Hierarchical Inverted Cell List (§IV).
+//!
+//! For every activity `α`, the HICL stores, per grid level, the sorted
+//! set of cell codes whose cells contain `α`. The leaf level is built
+//! directly from the data; each coarser level is the set of parents of
+//! the level below, exactly the paper's bottom-up aggregation.
+//!
+//! The structure also supports the reverse question needed by the
+//! Algorithm-2 lower bound: *which activities does cell `c` contain?*
+
+use atsq_grid::CellId;
+use atsq_types::{ActivityId, ActivitySet};
+use std::collections::HashMap;
+
+/// Hierarchical inverted cell lists for all activities.
+#[derive(Debug, Clone, Default)]
+pub struct Hicl {
+    /// `lists[activity] = per-level sorted cell codes`; index 0 of the
+    /// inner vec is grid level 1, the last is the leaf level `d`.
+    lists: HashMap<ActivityId, Vec<Vec<u64>>>,
+    /// Reverse map: per level (same indexing), cell code → activity
+    /// set. Needed to materialise the "virtual points" of Algorithm 2.
+    by_cell: Vec<HashMap<u64, ActivitySet>>,
+    levels: u8,
+}
+
+impl Hicl {
+    /// Builds the HICL from `(leaf cell, activity)` occurrence pairs.
+    ///
+    /// `leaf_cells` yields one entry per (activity, leaf cell) pair —
+    /// duplicates are tolerated. `levels` is the grid depth `d`.
+    pub fn build(levels: u8, occurrences: impl IntoIterator<Item = (ActivityId, CellId)>) -> Self {
+        assert!(levels >= 1, "HICL requires at least one level");
+        let mut lists: HashMap<ActivityId, Vec<Vec<u64>>> = HashMap::new();
+        let mut by_cell: Vec<HashMap<u64, ActivitySet>> =
+            (0..levels).map(|_| HashMap::new()).collect();
+
+        for (act, cell) in occurrences {
+            assert_eq!(cell.level, levels, "occurrence cell must be a leaf cell");
+            let per_level = lists
+                .entry(act)
+                .or_insert_with(|| vec![Vec::new(); levels as usize]);
+            // Walk the ancestor chain up to level 1, recording the cell
+            // at each level.
+            let mut c = cell;
+            loop {
+                per_level[(c.level - 1) as usize].push(c.code);
+                by_cell[(c.level - 1) as usize]
+                    .entry(c.code)
+                    .or_default()
+                    .insert(act);
+                match c.parent() {
+                    Some(p) if p.level >= 1 => c = p,
+                    _ => break,
+                }
+            }
+        }
+
+        for per_level in lists.values_mut() {
+            for level in per_level.iter_mut() {
+                level.sort_unstable();
+                level.dedup();
+            }
+        }
+
+        Hicl {
+            lists,
+            by_cell,
+            levels,
+        }
+    }
+
+    /// Grid depth `d`.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Dynamically records one `(activity, leaf cell)` occurrence,
+    /// propagating through every ancestor level. Idempotent.
+    pub fn insert(&mut self, act: ActivityId, cell: CellId) {
+        assert_eq!(cell.level, self.levels, "insert takes leaf cells");
+        let levels = self.levels as usize;
+        let per_level = self
+            .lists
+            .entry(act)
+            .or_insert_with(|| vec![Vec::new(); levels]);
+        let mut c = cell;
+        loop {
+            let list = &mut per_level[(c.level - 1) as usize];
+            if let Err(pos) = list.binary_search(&c.code) {
+                list.insert(pos, c.code);
+            }
+            self.by_cell[(c.level - 1) as usize]
+                .entry(c.code)
+                .or_default()
+                .insert(act);
+            match c.parent() {
+                Some(p) if p.level >= 1 => c = p,
+                _ => break,
+            }
+        }
+    }
+
+    /// Whether `cell` contains activity `act` (any level 1..=d).
+    pub fn cell_contains(&self, cell: CellId, act: ActivityId) -> bool {
+        assert!(cell.level >= 1 && cell.level <= self.levels);
+        self.lists
+            .get(&act)
+            .is_some_and(|lv| lv[(cell.level - 1) as usize].binary_search(&cell.code).is_ok())
+    }
+
+    /// Cells at `level` containing `act` (sorted by code); empty slice
+    /// when the activity is absent.
+    pub fn cells_with_activity(&self, level: u8, act: ActivityId) -> &[u64] {
+        assert!(level >= 1 && level <= self.levels);
+        self.lists
+            .get(&act)
+            .map_or(&[][..], |lv| &lv[(level - 1) as usize])
+    }
+
+    /// The children of `cell` that contain at least one activity of
+    /// `wanted` — the descent step of the §V-A best-first retrieval
+    /// ("take the union set of the cells in the inverted list").
+    pub fn children_with_any(&self, cell: CellId, wanted: &ActivitySet) -> Vec<CellId> {
+        assert!(cell.level < self.levels, "leaf cells have no children");
+        cell.children()
+            .into_iter()
+            .filter(|ch| wanted.iter().any(|a| self.cell_contains(*ch, a)))
+            .collect()
+    }
+
+    /// All activities present in `cell` — the `cj.Φ` of Algorithm 2's
+    /// virtual points. Returns `None` for cells with no activity.
+    pub fn cell_activities(&self, cell: CellId) -> Option<&ActivitySet> {
+        assert!(cell.level >= 1 && cell.level <= self.levels);
+        self.by_cell[(cell.level - 1) as usize].get(&cell.code)
+    }
+
+    /// Approximate heap footprint in bytes of the inverted lists at
+    /// levels `1..=upto` (8 bytes per posting), matching the paper's
+    /// memory accounting for Fig. 8.
+    pub fn memory_bytes(&self, upto: u8) -> usize {
+        let upto = upto.min(self.levels) as usize;
+        self.lists
+            .values()
+            .map(|lv| lv[..upto].iter().map(|l| l.len() * 8).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of distinct activities indexed.
+    pub fn activity_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Iterates `(cell code, activity set)` over the occupied cells at
+    /// `level` (1-based), in unspecified order. Used to materialise
+    /// the cold levels onto pages.
+    pub fn level_entries(&self, level: u8) -> impl Iterator<Item = (u64, &ActivitySet)> {
+        assert!(level >= 1 && level <= self.levels);
+        self.by_cell[(level - 1) as usize]
+            .iter()
+            .map(|(&code, acts)| (code, acts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_grid::{Grid, morton_encode};
+    use atsq_types::{Point, Rect};
+
+    fn leaf(level: u8, x: u32, y: u32) -> CellId {
+        CellId {
+            level,
+            code: morton_encode(x, y),
+        }
+    }
+
+    #[test]
+    fn build_propagates_to_ancestors() {
+        // Grid d=3 (8x8). Activity 1 occurs in leaf (5, 2).
+        let h = Hicl::build(3, vec![(ActivityId(1), leaf(3, 5, 2))]);
+        assert!(h.cell_contains(leaf(3, 5, 2), ActivityId(1)));
+        assert!(h.cell_contains(leaf(2, 2, 1), ActivityId(1))); // parent
+        assert!(h.cell_contains(leaf(1, 1, 0), ActivityId(1))); // grandparent
+        assert!(!h.cell_contains(leaf(3, 5, 3), ActivityId(1)));
+        assert!(!h.cell_contains(leaf(1, 0, 0), ActivityId(1)));
+        assert_eq!(h.activity_count(), 1);
+    }
+
+    #[test]
+    fn children_with_any_filters() {
+        let h = Hicl::build(
+            2,
+            vec![
+                (ActivityId(1), leaf(2, 0, 0)),
+                (ActivityId(2), leaf(2, 3, 3)),
+            ],
+        );
+        let root_children = h.children_with_any(
+            leaf(1, 0, 0),
+            &ActivitySet::from_raw([1]),
+        );
+        assert_eq!(root_children, vec![leaf(2, 0, 0)]);
+        let none = h.children_with_any(leaf(1, 0, 0), &ActivitySet::from_raw([2]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn cell_activities_reverse_lookup() {
+        let h = Hicl::build(
+            2,
+            vec![
+                (ActivityId(1), leaf(2, 0, 0)),
+                (ActivityId(2), leaf(2, 0, 0)),
+                (ActivityId(3), leaf(2, 3, 0)),
+            ],
+        );
+        assert_eq!(
+            h.cell_activities(leaf(2, 0, 0)),
+            Some(&ActivitySet::from_raw([1, 2]))
+        );
+        // Level-1 parent of both (0,0) and (3,0) quadrant cells.
+        assert_eq!(
+            h.cell_activities(leaf(1, 0, 0)),
+            Some(&ActivitySet::from_raw([1, 2]))
+        );
+        assert_eq!(
+            h.cell_activities(leaf(1, 1, 0)),
+            Some(&ActivitySet::from_raw([3]))
+        );
+        assert_eq!(h.cell_activities(leaf(2, 1, 1)), None);
+    }
+
+    #[test]
+    fn duplicates_are_deduped() {
+        let occ = vec![
+            (ActivityId(1), leaf(2, 1, 1)),
+            (ActivityId(1), leaf(2, 1, 1)),
+            (ActivityId(1), leaf(2, 1, 1)),
+        ];
+        let h = Hicl::build(2, occ);
+        assert_eq!(h.cells_with_activity(2, ActivityId(1)).len(), 1);
+        assert_eq!(h.cells_with_activity(1, ActivityId(1)).len(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_counts_postings() {
+        let h = Hicl::build(
+            2,
+            vec![
+                (ActivityId(1), leaf(2, 0, 0)),
+                (ActivityId(1), leaf(2, 3, 3)),
+            ],
+        );
+        // Level 1: cells (0,0) and (1,1) -> 2 postings; level 2: 2.
+        assert_eq!(h.memory_bytes(1), 16);
+        assert_eq!(h.memory_bytes(2), 32);
+        // Clamps beyond depth.
+        assert_eq!(h.memory_bytes(10), 32);
+    }
+
+    #[test]
+    fn consistent_with_grid_mapping() {
+        // End-to-end: map real points through a Grid and check
+        // containment against the grid's own cell_of.
+        let grid = Grid::new(Rect::from_bounds(0.0, 0.0, 16.0, 16.0), 4);
+        let pts = [
+            (Point::new(1.0, 1.0), ActivityId(7)),
+            (Point::new(15.0, 15.0), ActivityId(7)),
+            (Point::new(8.0, 4.0), ActivityId(9)),
+        ];
+        let h = Hicl::build(
+            4,
+            pts.iter().map(|(p, a)| (*a, grid.leaf_cell_of(p))),
+        );
+        for (p, a) in &pts {
+            for level in 1..=4u8 {
+                assert!(h.cell_contains(grid.cell_of(p, level), *a));
+            }
+        }
+        assert!(!h.cell_contains(grid.cell_of(&Point::new(1.0, 1.0), 4), ActivityId(9)));
+    }
+}

@@ -1,0 +1,406 @@
+//! Assembling the four GAT components from a dataset.
+
+use crate::apl::{Apl, TrajectoryPostings};
+use crate::config::GatConfig;
+use crate::hicl::Hicl;
+use crate::itl::Itl;
+use crate::paged::{storage_err, AplStorage, PagedApl, PagedAplConfig, PagedColdHicl};
+use crate::stats::IoStats;
+use crate::tas::Tas;
+use atsq_grid::{CellId, Grid};
+use atsq_types::{ActivitySet, Dataset, Rect, Result};
+use std::borrow::Cow;
+
+/// The complete GAT index over one dataset.
+///
+/// The index stores no copy of the trajectory data; query functions
+/// take the [`Dataset`] alongside the index (trajectory ids are stable
+/// indexes into it).
+#[derive(Debug)]
+pub struct GatIndex {
+    config: GatConfig,
+    grid: Grid,
+    hicl: Hicl,
+    itl: Itl,
+    tas: Tas,
+    apl: AplStorage,
+    /// Cold HICL levels on pages (paged builds only); the in-memory
+    /// `hicl` keeps serving the hot levels and dynamic inserts.
+    cold_hicl: Option<PagedColdHicl>,
+    stats: IoStats,
+}
+
+impl GatIndex {
+    /// Builds the index with the paper's default configuration.
+    pub fn build(dataset: &Dataset) -> Result<Self> {
+        Self::build_with(dataset, GatConfig::default())
+    }
+
+    /// Builds the index with an explicit configuration and the APL on
+    /// real pages behind a buffer pool (see [`crate::paged`]). Queries
+    /// return exactly what [`GatIndex::build_with`] returns; the
+    /// difference is measured page traffic instead of simulated
+    /// counters.
+    pub fn build_paged(
+        dataset: &Dataset,
+        config: GatConfig,
+        apl_config: &PagedAplConfig,
+    ) -> Result<Self> {
+        let mut index = Self::build_with(dataset, config)?;
+        let paged =
+            PagedApl::build(dataset.trajectories().iter(), apl_config).map_err(storage_err)?;
+        index.apl = AplStorage::Paged(paged);
+        // Page the cold HICL levels too (§IV keeps levels above h on
+        // secondary storage alongside the APL).
+        index.cold_hicl = PagedColdHicl::build(&index.hicl, config.memory_level, apl_config)
+            .map_err(storage_err)?;
+        Ok(index)
+    }
+
+    /// Replaces the APL storage wholesale. The storage must cover
+    /// exactly the indexed trajectories, in order — used by tests (e.g.
+    /// fault injection through a custom page store) and by callers that
+    /// prebuilt a [`PagedApl`] over their own [`atsq_storage::PageStore`].
+    ///
+    /// # Panics
+    /// Panics when `apl` covers a different number of trajectories than
+    /// the index.
+    pub fn with_apl_storage(mut self, apl: AplStorage) -> Self {
+        assert_eq!(
+            apl.len(),
+            self.tas.len(),
+            "replacement APL must cover the indexed trajectories"
+        );
+        self.apl = apl;
+        self
+    }
+
+    /// Builds the index with an explicit configuration.
+    pub fn build_with(dataset: &Dataset, config: GatConfig) -> Result<Self> {
+        config.validate()?;
+        let region = usable_region(dataset.bounds());
+        let grid = Grid::new(region, config.grid_level);
+        let d = config.grid_level;
+
+        // One pass over all points collects HICL and ITL occurrences.
+        let mut hicl_occ = Vec::new();
+        let mut itl_occ = Vec::new();
+        for tr in dataset.trajectories() {
+            for p in &tr.points {
+                let cell = grid.leaf_cell_of(&p.loc);
+                for a in p.activities.iter() {
+                    hicl_occ.push((a, cell));
+                    itl_occ.push((cell, a, tr.id));
+                }
+            }
+        }
+
+        let hicl = Hicl::build(d, hicl_occ);
+        let itl = Itl::build(d, itl_occ);
+        let tas = Tas::build(
+            dataset.trajectories().iter().map(|tr| tr.all_activities()),
+            config.tas_intervals,
+        );
+        let apl = AplStorage::Memory(Apl::build(dataset.trajectories().iter()));
+
+        Ok(GatIndex {
+            config,
+            grid,
+            hicl,
+            itl,
+            tas,
+            apl,
+            cold_hicl: None,
+            stats: IoStats::new(),
+        })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &GatConfig {
+        &self.config
+    }
+
+    /// The hierarchical grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The hierarchical inverted cell list.
+    pub fn hicl(&self) -> &Hicl {
+        &self.hicl
+    }
+
+    /// The inverted trajectory lists.
+    pub fn itl(&self) -> &Itl {
+        &self.itl
+    }
+
+    /// The trajectory activity sketches.
+    pub fn tas(&self) -> &Tas {
+        &self.tas
+    }
+
+    /// The activity posting lists (either backend).
+    pub fn apl(&self) -> &AplStorage {
+        &self.apl
+    }
+
+    /// Fetches the posting lists of trajectory `idx`, charging one APL
+    /// read. Borrowed from memory or fetched through the buffer pool
+    /// depending on the backend; fails only on a paged-storage error.
+    pub fn postings(&self, idx: usize) -> Result<Cow<'_, TrajectoryPostings>> {
+        self.stats.record_apl_read();
+        self.apl.postings(idx).map_err(storage_err)
+    }
+
+    /// The simulated-I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The paged cold HICL levels (paged builds with
+    /// `memory_level < grid_level` only).
+    pub fn cold_hicl(&self) -> Option<&PagedColdHicl> {
+        self.cold_hicl.as_ref()
+    }
+
+    /// Activities present in a cell, charging a cold read when the
+    /// cell lies below the memory-resident HICL levels. With a paged
+    /// build the cold read goes through the buffer pool for real and
+    /// can therefore fail.
+    pub fn cell_activities(&self, cell: CellId) -> Result<Option<Cow<'_, ActivitySet>>> {
+        if cell.level > self.config.memory_level {
+            self.stats.record_hicl_cold_read();
+            if let Some(cold) = &self.cold_hicl {
+                return cold
+                    .cell_activities(cell)
+                    .map(|o| o.map(Cow::Owned))
+                    .map_err(storage_err);
+            }
+        }
+        Ok(self.hicl.cell_activities(cell).map(Cow::Borrowed))
+    }
+
+    /// Children of `cell` containing any wanted activity, with cold
+    /// accounting as in [`GatIndex::cell_activities`].
+    pub fn children_with_any(&self, cell: CellId, wanted: &ActivitySet) -> Result<Vec<CellId>> {
+        if cell.level + 1 > self.config.memory_level {
+            self.stats.record_hicl_cold_read();
+            if let Some(cold) = &self.cold_hicl {
+                let mut out = Vec::new();
+                for child in cell.children() {
+                    if let Some(acts) = cold.cell_activities(child).map_err(storage_err)? {
+                        if acts.intersects(wanted) {
+                            out.push(child);
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+        }
+        Ok(self.hicl.children_with_any(cell, wanted))
+    }
+
+    /// Dynamically indexes one newly appended trajectory.
+    ///
+    /// Call after [`atsq_types::Dataset::append_trajectory`]; `tr` must
+    /// be the trajectory at index `self.tas().len()` (appends must be
+    /// indexed in order, exactly once). Points outside the original
+    /// grid region are clamped into the border cells, so the index
+    /// stays correct — though heavy out-of-region growth degrades
+    /// pruning and warrants a rebuild.
+    ///
+    /// Fails when the paged APL backend cannot append the new posting
+    /// record, and for indexes built with paged cold HICL levels
+    /// (their page records are immutable — rebuild instead); the
+    /// in-memory backend is infallible.
+    pub fn insert_trajectory(&mut self, tr: &atsq_types::Trajectory) -> Result<()> {
+        if self.cold_hicl.is_some() {
+            return Err(atsq_types::Error::InvalidConfig(
+                "dynamic inserts are not supported with paged cold HICL levels; \
+                 rebuild the index"
+                    .into(),
+            ));
+        }
+        assert_eq!(
+            tr.id.index(),
+            self.tas.len(),
+            "trajectories must be indexed in append order"
+        );
+        // Append the posting record first: if the paged backend fails,
+        // no other component has been touched yet.
+        self.apl.push(tr).map_err(storage_err)?;
+        for p in &tr.points {
+            let cell = self.grid.leaf_cell_of(&p.loc);
+            for a in p.activities.iter() {
+                self.hicl.insert(a, cell);
+                self.itl.insert(cell, a, tr.id);
+            }
+        }
+        self.tas.push(&tr.all_activities(), self.config.tas_intervals);
+        Ok(())
+    }
+
+    /// Memory accounting for the Fig. 8 experiment.
+    pub fn memory_report(&self) -> MemoryReport {
+        let h = self.config.memory_level;
+        let hicl_hot = self.hicl.memory_bytes(h);
+        let hicl_total = self.hicl.memory_bytes(self.config.grid_level);
+        MemoryReport {
+            hicl_hot_bytes: hicl_hot,
+            hicl_cold_bytes: hicl_total - hicl_hot,
+            itl_bytes: self.itl.memory_bytes(),
+            tas_bytes: self.tas.memory_bytes(),
+            apl_disk_bytes: self.apl.disk_bytes(),
+        }
+    }
+}
+
+/// Byte-level footprint of the index components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// HICL levels kept in main memory (`1..=h`).
+    pub hicl_hot_bytes: usize,
+    /// HICL levels the paper stores on disk (`h+1..=d`).
+    pub hicl_cold_bytes: usize,
+    /// ITL size (main memory).
+    pub itl_bytes: usize,
+    /// TAS size (main memory).
+    pub tas_bytes: usize,
+    /// APL size (disk in the paper).
+    pub apl_disk_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Total main-memory footprint: hot HICL + ITL + TAS (the paper's
+    /// Fig. 8 "memory cost" curve counts the resident components).
+    pub fn main_memory_bytes(&self) -> usize {
+        self.hicl_hot_bytes + self.itl_bytes + self.tas_bytes
+    }
+}
+
+/// Expands degenerate dataset bounds into a usable grid region: empty
+/// datasets get a unit square, zero-extent axes get padding so cells
+/// have positive area.
+fn usable_region(bounds: Rect) -> Rect {
+    if bounds.is_empty() {
+        return Rect::from_bounds(0.0, 0.0, 1.0, 1.0);
+    }
+    let pad_x = if bounds.width() > 0.0 { 0.0 } else { 0.5 };
+    let pad_y = if bounds.height() > 0.0 { 0.0 } else { 0.5 };
+    Rect::from_bounds(
+        bounds.min.x - pad_x,
+        bounds.min.y - pad_y,
+        bounds.max.x + pad_x,
+        bounds.max.y + pad_y,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_types::{ActivitySet, DatasetBuilder, Point, TrajectoryId, TrajectoryPoint};
+
+    fn small_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        let a0 = b.observe_activity("coffee");
+        let a1 = b.observe_activity("art");
+        let a2 = b.observe_activity("hike");
+        b.push_trajectory(vec![
+            TrajectoryPoint::new(Point::new(1.0, 1.0), ActivitySet::from_ids([a0])),
+            TrajectoryPoint::new(Point::new(5.0, 5.0), ActivitySet::from_ids([a1])),
+        ]);
+        b.push_trajectory(vec![
+            TrajectoryPoint::new(Point::new(9.0, 9.0), ActivitySet::from_ids([a2, a0])),
+        ]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_populates_components() {
+        let d = small_dataset();
+        let idx = GatIndex::build_with(
+            &d,
+            GatConfig {
+                grid_level: 4,
+                memory_level: 3,
+                ..GatConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(idx.tas().len(), 2);
+        assert_eq!(idx.apl().len(), 2);
+        assert_eq!(idx.hicl().activity_count(), 3);
+        assert!(idx.itl().cell_count() >= 2);
+        // The cell of (1,1) contains "coffee".
+        let cell = idx.grid().leaf_cell_of(&Point::new(1.0, 1.0));
+        assert_eq!(
+            idx.itl().trajectories(cell, atsq_types::ActivityId(0)),
+            &[TrajectoryId(0)]
+        );
+    }
+
+    #[test]
+    fn cold_reads_are_counted() {
+        let d = small_dataset();
+        let idx = GatIndex::build_with(
+            &d,
+            GatConfig {
+                grid_level: 4,
+                memory_level: 2,
+                ..GatConfig::default()
+            },
+        )
+        .unwrap();
+        let leaf = idx.grid().leaf_cell_of(&Point::new(1.0, 1.0));
+        let _ = idx.cell_activities(leaf); // level 4 > 2 -> cold
+        let _ = idx.cell_activities(leaf.ancestor_at(1)); // hot
+        assert_eq!(idx.stats().snapshot().hicl_cold_reads, 1);
+    }
+
+    #[test]
+    fn memory_report_is_consistent() {
+        let d = small_dataset();
+        let idx = GatIndex::build_with(
+            &d,
+            GatConfig {
+                grid_level: 4,
+                memory_level: 2,
+                ..GatConfig::default()
+            },
+        )
+        .unwrap();
+        let r = idx.memory_report();
+        assert!(r.hicl_hot_bytes > 0);
+        assert!(r.hicl_cold_bytes > 0);
+        assert!(r.itl_bytes > 0);
+        assert!(r.tas_bytes > 0);
+        assert!(r.apl_disk_bytes > 0);
+        assert_eq!(
+            r.main_memory_bytes(),
+            r.hicl_hot_bytes + r.itl_bytes + r.tas_bytes
+        );
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let d = DatasetBuilder::new().finish().unwrap();
+        let idx = GatIndex::build(&d).unwrap();
+        assert_eq!(idx.tas().len(), 0);
+        assert_eq!(idx.hicl().activity_count(), 0);
+    }
+
+    #[test]
+    fn degenerate_bounds_are_padded() {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        let a = b.observe_activity("x");
+        // All points identical: zero-extent bounds.
+        b.push_trajectory(vec![TrajectoryPoint::new(
+            Point::new(3.0, 3.0),
+            ActivitySet::from_ids([a]),
+        )]);
+        let d = b.finish().unwrap();
+        let idx = GatIndex::build(&d).unwrap();
+        assert!(idx.grid().region().area() > 0.0);
+    }
+}

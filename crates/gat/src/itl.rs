@@ -1,0 +1,171 @@
+//! ITL — the Inverted Trajectory List (§IV).
+//!
+//! For each leaf cell of the d-Grid and each activity occurring in it,
+//! the ITL lists the trajectories that perform the activity inside the
+//! cell. It answers the leaf step of candidate retrieval: once the
+//! best-first descent reaches a leaf cell, the trajectories listed
+//! under the query activities become candidates.
+
+use atsq_grid::CellId;
+use atsq_types::{ActivityId, ActivitySet, TrajectoryId};
+use std::collections::HashMap;
+
+/// Inverted trajectory lists for all leaf cells.
+#[derive(Debug, Clone, Default)]
+pub struct Itl {
+    cells: HashMap<u64, HashMap<ActivityId, Vec<TrajectoryId>>>,
+    leaf_level: u8,
+    postings: usize,
+}
+
+impl Itl {
+    /// Builds the ITL from `(leaf cell, activity, trajectory)` triples;
+    /// duplicates are tolerated.
+    pub fn build(
+        leaf_level: u8,
+        occurrences: impl IntoIterator<Item = (CellId, ActivityId, TrajectoryId)>,
+    ) -> Self {
+        let mut cells: HashMap<u64, HashMap<ActivityId, Vec<TrajectoryId>>> = HashMap::new();
+        for (cell, act, tr) in occurrences {
+            assert_eq!(cell.level, leaf_level, "ITL keys are leaf cells");
+            cells.entry(cell.code).or_default().entry(act).or_default().push(tr);
+        }
+        let mut postings = 0usize;
+        for acts in cells.values_mut() {
+            for list in acts.values_mut() {
+                list.sort_unstable();
+                list.dedup();
+                postings += list.len();
+            }
+        }
+        Itl {
+            cells,
+            leaf_level,
+            postings,
+        }
+    }
+
+    /// The leaf grid level these lists are keyed by.
+    pub fn leaf_level(&self) -> u8 {
+        self.leaf_level
+    }
+
+    /// Dynamically records one `(cell, activity, trajectory)` posting.
+    /// Idempotent.
+    pub fn insert(&mut self, cell: CellId, act: ActivityId, tr: TrajectoryId) {
+        assert_eq!(cell.level, self.leaf_level);
+        let list = self
+            .cells
+            .entry(cell.code)
+            .or_default()
+            .entry(act)
+            .or_default();
+        if let Err(pos) = list.binary_search(&tr) {
+            list.insert(pos, tr);
+            self.postings += 1;
+        }
+    }
+
+    /// Trajectories containing `act` within `cell` (sorted, deduped).
+    pub fn trajectories(&self, cell: CellId, act: ActivityId) -> &[TrajectoryId] {
+        assert_eq!(cell.level, self.leaf_level);
+        self.cells
+            .get(&cell.code)
+            .and_then(|acts| acts.get(&act))
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// All activities present in `cell` (unsorted iteration order is
+    /// hidden by returning a set).
+    pub fn cell_activities(&self, cell: CellId) -> Option<ActivitySet> {
+        assert_eq!(cell.level, self.leaf_level);
+        self.cells
+            .get(&cell.code)
+            .map(|acts| ActivitySet::from_ids(acts.keys().copied()))
+    }
+
+    /// Number of non-empty leaf cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total posting count (for memory accounting).
+    pub fn posting_count(&self) -> usize {
+        self.postings
+    }
+
+    /// Approximate heap footprint: 4 bytes per trajectory posting plus
+    /// 12 bytes per (cell, activity) key pair.
+    pub fn memory_bytes(&self) -> usize {
+        let key_pairs: usize = self.cells.values().map(HashMap::len).sum();
+        self.postings * 4 + key_pairs * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_grid::morton_encode;
+
+    fn cell(x: u32, y: u32) -> CellId {
+        CellId {
+            level: 3,
+            code: morton_encode(x, y),
+        }
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let itl = Itl::build(
+            3,
+            vec![
+                (cell(1, 1), ActivityId(5), TrajectoryId(10)),
+                (cell(1, 1), ActivityId(5), TrajectoryId(3)),
+                (cell(1, 1), ActivityId(5), TrajectoryId(10)), // dup
+                (cell(1, 1), ActivityId(6), TrajectoryId(4)),
+                (cell(2, 2), ActivityId(5), TrajectoryId(8)),
+            ],
+        );
+        assert_eq!(
+            itl.trajectories(cell(1, 1), ActivityId(5)),
+            &[TrajectoryId(3), TrajectoryId(10)]
+        );
+        assert_eq!(
+            itl.trajectories(cell(2, 2), ActivityId(5)),
+            &[TrajectoryId(8)]
+        );
+        assert!(itl.trajectories(cell(1, 1), ActivityId(9)).is_empty());
+        assert!(itl.trajectories(cell(7, 7), ActivityId(5)).is_empty());
+        assert_eq!(itl.cell_count(), 2);
+        assert_eq!(itl.posting_count(), 4);
+    }
+
+    #[test]
+    fn cell_activities_lists_keys() {
+        let itl = Itl::build(
+            3,
+            vec![
+                (cell(0, 0), ActivityId(2), TrajectoryId(0)),
+                (cell(0, 0), ActivityId(7), TrajectoryId(1)),
+            ],
+        );
+        assert_eq!(
+            itl.cell_activities(cell(0, 0)),
+            Some(ActivitySet::from_raw([2, 7]))
+        );
+        assert_eq!(itl.cell_activities(cell(5, 5)), None);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_postings() {
+        let itl = Itl::build(
+            3,
+            vec![
+                (cell(0, 0), ActivityId(1), TrajectoryId(0)),
+                (cell(0, 0), ActivityId(1), TrajectoryId(1)),
+            ],
+        );
+        // 2 postings * 4 + 1 key pair * 12.
+        assert_eq!(itl.memory_bytes(), 20);
+    }
+}

@@ -1,0 +1,527 @@
+//! The paged storage backends: posting lists and cold HICL levels on
+//! real pages.
+//!
+//! The paper stores every APL "on disk due to its high space
+//! requirement", along with the HICL levels above the memory budget,
+//! and fetches both at query time (§IV). [`crate::apl::Apl`] models
+//! that with a counter; the backends here do it for real:
+//!
+//! * [`PagedApl`] — each trajectory's posting lists are one record in
+//!   an [`atsq_storage::RecordHeap`] behind an LRU [`BufferPool`],
+//! * [`PagedColdHicl`] — each occupied cold cell's activity set is one
+//!   record, fetched during the best-first descent below the memory
+//!   level,
+//!
+//! backed by either memory pages or actual page files. Query results
+//! are identical either way (the engine-agreement tests assert it);
+//! what changes is that the buffer pools' hit/miss counters become
+//! *measured* I/O instead of simulated.
+
+use crate::apl::TrajectoryPostings;
+use atsq_storage::{
+    BufferPool, FilePageStore, MemPageStore, PageStore, PoolStats, RecordHeap, RecordId,
+    StorageError, StorageResult, DEFAULT_PAGE_SIZE,
+};
+use atsq_types::{Error, Trajectory};
+use std::borrow::Cow;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where the APL pages live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PagedBacking {
+    /// Pages in memory — page traffic is still counted by the pool, so
+    /// experiments get measured fetch counts without filesystem churn.
+    Memory,
+    /// Pages in a file created (truncated) at this path.
+    File(PathBuf),
+}
+
+/// Configuration of the paged APL backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagedAplConfig {
+    /// Page size in bytes (≥ 64).
+    pub page_size: usize,
+    /// Buffer-pool capacity in frames (≥ 1).
+    pub pool_frames: usize,
+    /// Backing medium.
+    pub backing: PagedBacking,
+}
+
+impl Default for PagedAplConfig {
+    fn default() -> Self {
+        PagedAplConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            pool_frames: 64,
+            backing: PagedBacking::Memory,
+        }
+    }
+}
+
+/// Converts a storage failure into the workspace error type.
+pub(crate) fn storage_err(e: StorageError) -> Error {
+    Error::Storage(e.to_string())
+}
+
+/// Posting lists stored as heap records behind a buffer pool.
+pub struct PagedApl {
+    heap: RecordHeap<Box<dyn PageStore>>,
+    /// Record id of each trajectory's posting blob, by trajectory index.
+    records: Vec<RecordId>,
+}
+
+impl fmt::Debug for PagedApl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedApl")
+            .field("trajectories", &self.records.len())
+            .field("pages", &self.heap.pool().page_count())
+            .field("pool", &self.heap.pool().stats())
+            .finish()
+    }
+}
+
+impl PagedApl {
+    /// Builds the paged APL for every trajectory.
+    pub fn build<'a>(
+        trajectories: impl IntoIterator<Item = &'a Trajectory>,
+        config: &PagedAplConfig,
+    ) -> StorageResult<Self> {
+        let store: Box<dyn PageStore> = match &config.backing {
+            PagedBacking::Memory => Box::new(MemPageStore::new(config.page_size)?),
+            PagedBacking::File(path) => Box::new(FilePageStore::create(path, config.page_size)?),
+        };
+        // build_with_store flushes and zeroes the pool counters, so the
+        // build cost is not charged to the first queries (and the file,
+        // if any, is complete on disk).
+        Self::build_with_store(trajectories, store, config.pool_frames)
+    }
+
+    /// Builds over a caller-supplied page store — the hook for
+    /// fault-injection tests and exotic backends.
+    pub fn build_with_store<'a>(
+        trajectories: impl IntoIterator<Item = &'a Trajectory>,
+        store: Box<dyn PageStore>,
+        pool_frames: usize,
+    ) -> StorageResult<Self> {
+        let pool = BufferPool::new(store, pool_frames)?;
+        let mut apl = PagedApl {
+            heap: RecordHeap::new(pool),
+            records: Vec::new(),
+        };
+        for tr in trajectories {
+            apl.push(tr)?;
+        }
+        apl.heap.flush()?;
+        apl.heap.pool().reset_stats();
+        Ok(apl)
+    }
+
+    /// Appends the posting record of a newly indexed trajectory.
+    pub fn push(&mut self, tr: &Trajectory) -> StorageResult<()> {
+        let bytes = TrajectoryPostings::build(tr).to_bytes();
+        let id = self.heap.append(&bytes)?;
+        self.records.push(id);
+        Ok(())
+    }
+
+    /// Fetches and decodes the posting lists of trajectory `idx`.
+    pub fn get(&self, idx: usize) -> StorageResult<TrajectoryPostings> {
+        let id = self.records[idx];
+        let bytes = self.heap.get(id)?;
+        TrajectoryPostings::from_bytes(&bytes).ok_or(StorageError::Corrupt {
+            page: id.page,
+            detail: format!("posting record of trajectory {idx} failed to decode"),
+        })
+    }
+
+    /// Number of trajectories covered.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the backend is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Real on-page footprint.
+    pub fn disk_bytes(&self) -> usize {
+        self.heap.pool().page_count() as usize * self.heap.pool().page_size()
+    }
+
+    /// Buffer-pool counters (hits, misses, evictions, write-backs).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.heap.pool().stats()
+    }
+
+    /// Resets the buffer-pool counters.
+    pub fn reset_pool_stats(&self) {
+        self.heap.pool().reset_stats();
+    }
+}
+
+/// The cold HICL levels (`memory_level+1 ..= d`) on pages.
+///
+/// The paper keeps HICL levels above `h` on secondary storage (§IV).
+/// This structure materialises each occupied cold cell's activity set
+/// as one heap record; queries descending below the memory level fetch
+/// through the buffer pool, so the "HICL cold read" of the simulated
+/// cost model becomes measured page traffic. The in-memory [`Hicl`]
+/// remains the build artifact and continues to serve the hot levels.
+///
+/// [`Hicl`]: crate::hicl::Hicl
+pub struct PagedColdHicl {
+    heap: RecordHeap<Box<dyn PageStore>>,
+    /// `directory[level - first_level][cell code]` → record.
+    directory: Vec<std::collections::HashMap<u64, RecordId>>,
+    first_level: u8,
+}
+
+impl fmt::Debug for PagedColdHicl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedColdHicl")
+            .field("first_level", &self.first_level)
+            .field("levels", &self.directory.len())
+            .field("pages", &self.heap.pool().page_count())
+            .field("pool", &self.heap.pool().stats())
+            .finish()
+    }
+}
+
+impl PagedColdHicl {
+    /// Pages the levels of `hicl` above `memory_level`. Returns `None`
+    /// when every level is memory-resident.
+    pub fn build(
+        hicl: &crate::hicl::Hicl,
+        memory_level: u8,
+        config: &PagedAplConfig,
+    ) -> StorageResult<Option<Self>> {
+        let levels = hicl.levels();
+        if memory_level >= levels {
+            return Ok(None);
+        }
+        let first_level = memory_level + 1;
+        let store: Box<dyn PageStore> = match &config.backing {
+            PagedBacking::Memory => Box::new(MemPageStore::new(config.page_size)?),
+            PagedBacking::File(path) => {
+                let mut cold_path = path.clone();
+                cold_path.as_mut_os_string().push(".hicl");
+                Box::new(FilePageStore::create(&cold_path, config.page_size)?)
+            }
+        };
+        let pool = BufferPool::new(store, config.pool_frames)?;
+        let mut heap = RecordHeap::new(pool);
+        let mut directory = Vec::with_capacity((levels - memory_level) as usize);
+        let mut buf = Vec::new();
+        for level in first_level..=levels {
+            let mut map = std::collections::HashMap::new();
+            for (code, acts) in hicl.level_entries(level) {
+                buf.clear();
+                let mut ids: Vec<u32> = acts.iter().map(|a| a.0).collect();
+                ids.sort_unstable();
+                atsq_storage::codec::put_ascending(&mut buf, &ids);
+                map.insert(code, heap.append(&buf)?);
+            }
+            directory.push(map);
+        }
+        heap.flush()?;
+        heap.pool().reset_stats();
+        Ok(Some(PagedColdHicl {
+            heap,
+            directory,
+            first_level,
+        }))
+    }
+
+    /// First paged level (`memory_level + 1`).
+    pub fn first_level(&self) -> u8 {
+        self.first_level
+    }
+
+    /// Fetches and decodes the activity set of a cold cell; `None` for
+    /// unoccupied cells.
+    pub fn cell_activities(
+        &self,
+        cell: atsq_grid::CellId,
+    ) -> StorageResult<Option<atsq_types::ActivitySet>> {
+        debug_assert!(cell.level >= self.first_level, "cell is memory-resident");
+        let Some(map) = self.directory.get((cell.level - self.first_level) as usize) else {
+            return Ok(None);
+        };
+        let Some(&record) = map.get(&cell.code) else {
+            return Ok(None);
+        };
+        let bytes = self.heap.get(record)?;
+        let mut pos = 0;
+        let ids = atsq_storage::codec::get_ascending(&bytes, &mut pos)
+            .filter(|_| pos == bytes.len())
+            .ok_or(StorageError::Corrupt {
+                page: record.page,
+                detail: format!(
+                    "cold HICL record of cell {} at level {} failed to decode",
+                    cell.code, cell.level
+                ),
+            })?;
+        Ok(Some(atsq_types::ActivitySet::from_raw(ids)))
+    }
+
+    /// Buffer-pool counters of the cold store.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.heap.pool().stats()
+    }
+
+    /// Resets the buffer-pool counters.
+    pub fn reset_pool_stats(&self) {
+        self.heap.pool().reset_stats();
+    }
+
+    /// Real on-page footprint of the cold levels.
+    pub fn disk_bytes(&self) -> usize {
+        self.heap.pool().page_count() as usize * self.heap.pool().page_size()
+    }
+}
+
+/// The APL behind either backend, presenting one lookup interface.
+#[derive(Debug)]
+pub enum AplStorage {
+    /// Posting lists in plain memory (`Apl`), with simulated I/O.
+    Memory(crate::apl::Apl),
+    /// Posting lists on pages behind a buffer pool.
+    Paged(PagedApl),
+}
+
+impl AplStorage {
+    /// The posting lists of trajectory `idx`. Borrowed for the memory
+    /// backend; fetched, decoded and owned for the paged one.
+    pub fn postings(&self, idx: usize) -> StorageResult<Cow<'_, TrajectoryPostings>> {
+        match self {
+            AplStorage::Memory(apl) => Ok(Cow::Borrowed(apl.trajectory(idx))),
+            AplStorage::Paged(p) => Ok(Cow::Owned(p.get(idx)?)),
+        }
+    }
+
+    /// Appends the posting lists of a newly indexed trajectory.
+    pub fn push(&mut self, tr: &Trajectory) -> StorageResult<()> {
+        match self {
+            AplStorage::Memory(apl) => {
+                apl.push(tr);
+                Ok(())
+            }
+            AplStorage::Paged(p) => p.push(tr),
+        }
+    }
+
+    /// Number of trajectories covered.
+    pub fn len(&self) -> usize {
+        match self {
+            AplStorage::Memory(apl) => apl.len(),
+            AplStorage::Paged(p) => p.len(),
+        }
+    }
+
+    /// Whether no trajectory is covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// On-disk footprint: simulated byte count for the memory backend,
+    /// real page bytes for the paged one.
+    pub fn disk_bytes(&self) -> usize {
+        match self {
+            AplStorage::Memory(apl) => apl.disk_bytes(),
+            AplStorage::Paged(p) => p.disk_bytes(),
+        }
+    }
+
+    /// Buffer-pool counters when paged, `None` for the memory backend.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        match self {
+            AplStorage::Memory(_) => None,
+            AplStorage::Paged(p) => Some(p.pool_stats()),
+        }
+    }
+
+    /// Resets the buffer-pool counters (no-op for the memory backend).
+    pub fn reset_pool_stats(&self) {
+        if let AplStorage::Paged(p) = self {
+            p.reset_pool_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_types::{ActivitySet, Point, TrajectoryId, TrajectoryPoint};
+
+    fn tr(id: u32, points: Vec<(f64, Vec<u32>)>) -> Trajectory {
+        Trajectory::new(
+            TrajectoryId(id),
+            points
+                .into_iter()
+                .map(|(x, acts)| {
+                    TrajectoryPoint::new(Point::new(x, 0.0), ActivitySet::from_raw(acts))
+                })
+                .collect(),
+        )
+    }
+
+    fn sample() -> Vec<Trajectory> {
+        (0..20)
+            .map(|i| {
+                let pts = (0..(5 + i % 7))
+                    .map(|j| (j as f64, vec![j % 4, (i + j) % 6]))
+                    .collect();
+                tr(i, pts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paged_matches_in_memory_postings() {
+        let trs = sample();
+        let cfg = PagedAplConfig {
+            page_size: 128, // force chaining & multiple pages
+            pool_frames: 2,
+            backing: PagedBacking::Memory,
+        };
+        let paged = PagedApl::build(trs.iter(), &cfg).unwrap();
+        for (idx, t) in trs.iter().enumerate() {
+            let mem = TrajectoryPostings::build(t);
+            let disk = paged.get(idx).unwrap();
+            for a in 0..8u32 {
+                assert_eq!(
+                    mem.postings(atsq_types::ActivityId(a)),
+                    disk.postings(atsq_types::ActivityId(a)),
+                    "trajectory {idx} activity {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_resets_pool_stats() {
+        let trs = sample();
+        let paged = PagedApl::build(trs.iter(), &PagedAplConfig::default()).unwrap();
+        assert_eq!(paged.pool_stats(), PoolStats::default());
+        // The pool stays warm after the build, so this access is a hit;
+        // either way it must now be counted.
+        let _ = paged.get(0).unwrap();
+        let s = paged.pool_stats();
+        assert_eq!(s.hits + s.misses, 1);
+
+        // A one-frame pool cannot stay warm: accesses miss.
+        let cold = PagedApl::build(
+            trs.iter(),
+            &PagedAplConfig {
+                page_size: 128,
+                pool_frames: 1,
+                backing: PagedBacking::Memory,
+            },
+        )
+        .unwrap();
+        let _ = cold.get(0).unwrap();
+        let _ = cold.get(5).unwrap();
+        assert!(cold.pool_stats().misses > 0);
+    }
+
+    #[test]
+    fn file_backing_roundtrips() {
+        let dir = std::env::temp_dir().join("atsq-gat-paged-apl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("apl.pages");
+        let trs = sample();
+        let cfg = PagedAplConfig {
+            page_size: 256,
+            pool_frames: 4,
+            backing: PagedBacking::File(path.clone()),
+        };
+        let paged = PagedApl::build(trs.iter(), &cfg).unwrap();
+        let mem = TrajectoryPostings::build(&trs[7]);
+        let disk = paged.get(7).unwrap();
+        assert_eq!(
+            mem.postings(atsq_types::ActivityId(1)),
+            disk.postings(atsq_types::ActivityId(1))
+        );
+        assert!(path.metadata().unwrap().len() > 0);
+        drop(paged);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_hicl_roundtrips_cell_activity_sets() {
+        use crate::hicl::Hicl;
+        use atsq_grid::{Grid, CellId};
+        use atsq_types::{ActivityId, Rect};
+
+        let grid = Grid::new(Rect::from_bounds(0.0, 0.0, 16.0, 16.0), 4);
+        let mut occurrences = Vec::new();
+        for i in 0..40u32 {
+            let p = Point::new((i % 16) as f64 + 0.5, (i / 4) as f64 + 0.5);
+            occurrences.push((ActivityId(i % 6), grid.leaf_cell_of(&p)));
+        }
+        let hicl = Hicl::build(4, occurrences.clone());
+
+        let cold = PagedColdHicl::build(
+            &hicl,
+            2,
+            &PagedAplConfig {
+                page_size: 128,
+                pool_frames: 2,
+                backing: PagedBacking::Memory,
+            },
+        )
+        .unwrap()
+        .expect("levels 3..=4 are cold");
+        assert_eq!(cold.first_level(), 3);
+        assert!(cold.disk_bytes() > 0);
+
+        // Every occupied cold cell decodes to the in-memory set.
+        for level in 3..=4u8 {
+            for (code, acts) in hicl.level_entries(level) {
+                let cell = CellId { level, code };
+                let got = cold.cell_activities(cell).unwrap().expect("occupied");
+                let mut want: Vec<u32> = acts.iter().map(|a| a.0).collect();
+                want.sort_unstable();
+                let mut have: Vec<u32> = got.iter().map(|a| a.0).collect();
+                have.sort_unstable();
+                assert_eq!(have, want, "level {level} cell {code}");
+            }
+        }
+        // Unoccupied cells answer None, not an error.
+        let empty = CellId { level: 4, code: u64::MAX >> 8 };
+        assert!(cold.cell_activities(empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn cold_hicl_none_when_all_levels_hot() {
+        use crate::hicl::Hicl;
+        let hicl = Hicl::build(3, Vec::new());
+        assert!(PagedColdHicl::build(&hicl, 3, &PagedAplConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn apl_storage_unifies_backends() {
+        let trs = sample();
+        let mut mem = AplStorage::Memory(crate::apl::Apl::build(trs.iter()));
+        let mut paged = AplStorage::Paged(
+            PagedApl::build(trs.iter(), &PagedAplConfig::default()).unwrap(),
+        );
+        assert_eq!(mem.len(), paged.len());
+        assert!(mem.pool_stats().is_none());
+        assert!(paged.pool_stats().is_some());
+
+        let extra = tr(20, vec![(1.0, vec![3])]);
+        mem.push(&extra).unwrap();
+        paged.push(&extra).unwrap();
+        let a = atsq_types::ActivityId(3);
+        assert_eq!(
+            mem.postings(20).unwrap().postings(a),
+            paged.postings(20).unwrap().postings(a)
+        );
+        assert!(mem.disk_bytes() > 0);
+        assert!(paged.disk_bytes() > 0);
+    }
+}

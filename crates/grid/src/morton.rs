@@ -1,0 +1,104 @@
+//! Z-order (Morton) space-filling curve.
+//!
+//! Interleaves the bits of a 2-D cell coordinate into a single integer,
+//! giving the "unique numerical ID" per cell the paper's §IV asks a
+//! space-filling curve to provide. The Z-order curve additionally makes
+//! quad-tree parent/child moves trivial: the parent code is the child
+//! code shifted right by two bits.
+
+/// Spreads the low 32 bits of `v` so that bit `i` lands at bit `2i`.
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collects every second bit back together.
+#[inline]
+fn squash(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Encodes grid coordinates `(x, y)` into their Morton code.
+///
+/// Bit `i` of `x` lands at bit `2i`, bit `i` of `y` at bit `2i+1`, so
+/// codes sort in Z order and `code >> 2` is the parent cell's code.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Decodes a Morton code back into `(x, y)` grid coordinates.
+#[inline]
+pub fn morton_decode(code: u64) -> (u32, u32) {
+    (squash(code), squash(code >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_values() {
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 1);
+        assert_eq!(morton_encode(0, 1), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        assert_eq!(morton_encode(2, 0), 4);
+        assert_eq!(morton_encode(2, 2), 12);
+        assert_eq!(morton_encode(3, 3), 15);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for x in 0..32 {
+            for y in 0..32 {
+                assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        for &(x, y) in &[
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0xDEAD_BEEF, 0x1234_5678),
+        ] {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn parent_is_shift_by_two() {
+        // A cell (x, y) at level l has parent (x/2, y/2) at level l-1.
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let child = morton_encode(x, y);
+                let parent = morton_encode(x / 2, y / 2);
+                assert_eq!(child >> 2, parent);
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_per_level() {
+        use std::collections::HashSet;
+        let codes: HashSet<u64> = (0..64u32)
+            .flat_map(|x| (0..64u32).map(move |y| morton_encode(x, y)))
+            .collect();
+        assert_eq!(codes.len(), 64 * 64);
+    }
+}

@@ -1,0 +1,18 @@
+//! Test/example harness crate.
+//!
+//! Hosts the repository-level `tests/` (integration and property tests
+//! spanning crates) and `examples/` binaries via explicit target paths
+//! in its manifest. The library itself only provides small shared
+//! helpers for those targets.
+
+use atsq_types::{ActivitySet, Point, QueryPoint, TrajectoryPoint};
+
+/// Builds a trajectory point at `(x, y)` with raw activity ids.
+pub fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
+    TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+}
+
+/// Builds a query point at `(x, y)` with raw activity ids.
+pub fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
+    QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+}

@@ -1,0 +1,246 @@
+//! Import of raw check-in logs (the Foursquare shape of §VII-A).
+//!
+//! Input is CSV-like text, one check-in per row:
+//!
+//! ```text
+//! user_id,latitude,longitude,unix_timestamp,tag1;tag2;...
+//! ```
+//!
+//! The importer groups rows by user, orders each user's check-ins
+//! chronologically ("we put the records belonging to the same user in
+//! the chronological order to form the trajectory of this user"),
+//! projects WGS-84 coordinates onto a kilometre plane anchored at the
+//! data centroid, interns every tag as an activity, and finishes the
+//! dataset with the §IV frequency ranking.
+
+use atsq_types::{
+    geo::GeoPoint, ActivitySet, Dataset, DatasetBuilder, Error, Result, TrajectoryPoint,
+};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// One parsed check-in row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckinRecord {
+    /// User identifier (verbatim string from the log).
+    pub user: String,
+    /// WGS-84 latitude in degrees.
+    pub lat: f64,
+    /// WGS-84 longitude in degrees.
+    pub lon: f64,
+    /// Check-in time (any monotone integer clock).
+    pub timestamp: i64,
+    /// Activity tags (may be empty).
+    pub tags: Vec<String>,
+}
+
+/// Parses one CSV row. Exposed for streaming callers.
+pub fn parse_row(line: &str, line_no: usize) -> Result<CheckinRecord> {
+    let bad = |msg: &str| Error::InvalidDataset(format!("check-in line {line_no}: {msg}"));
+    let mut cols = line.split(',');
+    let user = cols.next().ok_or_else(|| bad("missing user"))?.trim();
+    if user.is_empty() {
+        return Err(bad("empty user id"));
+    }
+    let lat: f64 = cols
+        .next()
+        .ok_or_else(|| bad("missing latitude"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("invalid latitude"))?;
+    let lon: f64 = cols
+        .next()
+        .ok_or_else(|| bad("missing longitude"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("invalid longitude"))?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+        return Err(bad("coordinates out of range"));
+    }
+    let timestamp: i64 = cols
+        .next()
+        .ok_or_else(|| bad("missing timestamp"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("invalid timestamp"))?;
+    let tags = cols
+        .next()
+        .map(|t| {
+            t.split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(CheckinRecord {
+        user: user.to_owned(),
+        lat,
+        lon,
+        timestamp,
+        tags,
+    })
+}
+
+/// Imports a full check-in log into a [`Dataset`].
+///
+/// Rows starting with `#` or a non-numeric second column (a header)
+/// are skipped. Users with fewer than `min_checkins` rows are dropped
+/// (single check-ins carry no trajectory information).
+pub fn import_checkins<R: BufRead>(input: R, min_checkins: usize) -> Result<Dataset> {
+    let mut by_user: BTreeMap<String, Vec<CheckinRecord>> = BTreeMap::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidDataset(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if i == 0 {
+            // Header detection: second column not parseable as f64.
+            let looks_like_header = trimmed
+                .split(',')
+                .nth(1)
+                .is_none_or(|c| c.trim().parse::<f64>().is_err());
+            if looks_like_header {
+                continue;
+            }
+        }
+        let rec = parse_row(trimmed, i + 1)?;
+        by_user.entry(rec.user.clone()).or_default().push(rec);
+    }
+    assemble(by_user, min_checkins)
+}
+
+/// Groups parsed records into chronological per-user trajectories,
+/// projects them onto the centroid-anchored kilometre plane, interns
+/// the tags and finishes the dataset. Shared by the tag importer above
+/// and the tip importer in [`crate::tips`].
+pub(crate) fn assemble(
+    mut by_user: BTreeMap<String, Vec<CheckinRecord>>,
+    min_checkins: usize,
+) -> Result<Dataset> {
+    // Projection origin: centroid of all check-ins.
+    let mut lat_sum = 0.0;
+    let mut lon_sum = 0.0;
+    let mut count = 0usize;
+    for recs in by_user.values() {
+        for r in recs {
+            lat_sum += r.lat;
+            lon_sum += r.lon;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return DatasetBuilder::new().finish();
+    }
+    let origin = GeoPoint::new(lat_sum / count as f64, lon_sum / count as f64);
+
+    let mut builder = DatasetBuilder::new();
+    for recs in by_user.values_mut() {
+        if recs.len() < min_checkins {
+            continue;
+        }
+        recs.sort_by_key(|r| r.timestamp);
+        let points: Vec<TrajectoryPoint> = recs
+            .iter()
+            .map(|r| {
+                let acts: Vec<_> = r
+                    .tags
+                    .iter()
+                    .map(|t| builder.observe_activity(t))
+                    .collect();
+                TrajectoryPoint::new(
+                    GeoPoint::new(r.lat, r.lon).project(&origin),
+                    ActivitySet::from_ids(acts),
+                )
+            })
+            .collect();
+        builder.push_trajectory(points);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+user,lat,lon,time,tags
+# a comment
+alice,34.05,-118.25,100,coffee;art
+bob,34.06,-118.24,50,food
+alice,34.06,-118.20,200,hike
+bob,34.02,-118.30,60,food;coffee
+carol,34.00,-118.22,10,art
+";
+
+    #[test]
+    fn imports_grouped_sorted_trajectories() {
+        let d = import_checkins(LOG.as_bytes(), 2).unwrap();
+        // carol has one check-in -> dropped.
+        assert_eq!(d.len(), 2);
+        // alice's trajectory is chronological: t=100 then t=200.
+        let alice = &d.trajectories()[0];
+        assert_eq!(alice.points.len(), 2);
+        assert!(alice.points[0].loc.x < alice.points[1].loc.x); // west -> east
+        // Tags are interned and frequency-ranked: coffee (2) and food
+        // (2) outrank art (1) and hike (1).
+        let v = d.vocabulary();
+        assert!(v.get("coffee").unwrap().0 <= 1);
+        assert!(v.get("food").unwrap().0 <= 1);
+        assert!(v.get("hike").unwrap().0 >= 2);
+    }
+
+    #[test]
+    fn projection_distances_are_city_scale() {
+        let d = import_checkins(LOG.as_bytes(), 2).unwrap();
+        // 0.05 degrees of longitude at 34°N ≈ 4.6 km.
+        let alice = &d.trajectories()[0];
+        let dist = alice.points[0].loc.dist(&alice.points[1].loc);
+        assert!((3.0..7.0).contains(&dist), "unexpected distance {dist}");
+    }
+
+    #[test]
+    fn min_checkins_zero_keeps_everyone() {
+        let d = import_checkins(LOG.as_bytes(), 0).unwrap();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        // A non-numeric latitude on the first line is indistinguishable
+        // from a header and is skipped; from the second line on it is
+        // an error.
+        assert!(
+            import_checkins("u,1.0,1.0,5,x\nalice,not_a_lat,1.0,5,x\n".as_bytes(), 1).is_err()
+        );
+        assert!(import_checkins("alice,95.0,1.0,5,x\n".as_bytes(), 1).is_err());
+        assert!(import_checkins("alice,1.0\n".as_bytes(), 1).is_err());
+        assert!(import_checkins(",1.0,1.0,5,x\n".as_bytes(), 1).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dataset() {
+        let d = import_checkins("".as_bytes(), 2).unwrap();
+        assert!(d.is_empty());
+        let d = import_checkins("user,lat,lon,time,tags\n".as_bytes(), 2).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn tagless_checkins_keep_empty_activity_sets() {
+        let log = "u,34.0,-118.0,1,\nu,34.1,-118.1,2,coffee\n";
+        let d = import_checkins(log.as_bytes(), 2).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.trajectories()[0].points[0].activities.is_empty());
+        assert_eq!(d.trajectories()[0].points[1].activities.len(), 1);
+    }
+
+    #[test]
+    fn parse_row_roundtrip_fields() {
+        let r = parse_row("dave,1.5,-2.5,42,a;b; c", 1).unwrap();
+        assert_eq!(r.user, "dave");
+        assert_eq!(r.timestamp, 42);
+        assert_eq!(r.tags, vec!["a", "b", "c"]);
+    }
+}

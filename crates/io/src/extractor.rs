@@ -1,0 +1,226 @@
+//! Persistence for fitted activity extractors.
+//!
+//! The extractor is corpus-level state (mined phrases, pruned
+//! vocabulary): re-fitting it on every process start means re-reading
+//! the whole tip log. This module snapshots a fitted
+//! [`ActivityExtractor`] in the same dependency-free, line-oriented
+//! style as the dataset snapshot:
+//!
+//! ```text
+//! atsq-extractor v1
+//! C <min_activity_count> <max_activities_per_tip> <phrase_min_count> <phrase_cohesion>
+//! S <extra stopword>          (repeated)
+//! P <first> <second>          (repeated; promoted phrase pairs)
+//! V <count> <tag>             (repeated; vocabulary with frequencies)
+//! ```
+//!
+//! Tags never contain whitespace (the tokenizer guarantees it), so the
+//! format needs no quoting.
+
+use atsq_text::{ActivityExtractor, ExtractorConfig, PhraseModel};
+use atsq_types::{Error, Result};
+use std::io::{BufRead, Write};
+
+const MAGIC: &str = "atsq-extractor v1";
+
+/// Writes a fitted extractor.
+pub fn write_extractor<W: Write>(ex: &ActivityExtractor, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    let c = ex.config();
+    writeln!(
+        out,
+        "C {} {} {} {:?}",
+        c.min_activity_count, c.max_activities_per_tip, c.phrase_min_count, c.phrase_cohesion
+    )?;
+    for w in &c.extra_stopwords {
+        writeln!(out, "S {w}")?;
+    }
+    let mut pairs: Vec<(&str, &str)> = ex.phrases().pairs().collect();
+    pairs.sort_unstable();
+    for (a, b) in pairs {
+        writeln!(out, "P {a} {b}")?;
+    }
+    for (tag, count) in ex.vocabulary() {
+        writeln!(out, "V {count} {tag}")?;
+    }
+    Ok(())
+}
+
+/// Reads an extractor snapshot written by [`write_extractor`].
+pub fn read_extractor<R: BufRead>(input: R) -> Result<ActivityExtractor> {
+    let mut lines = input.lines().enumerate();
+    let bad = |line: usize, msg: &str| Error::InvalidDataset(format!("line {}: {msg}", line + 1));
+
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| Error::InvalidDataset("empty extractor snapshot".into()))?;
+    let first = first.map_err(|e| Error::InvalidDataset(e.to_string()))?;
+    if first.trim() != MAGIC {
+        return Err(Error::InvalidDataset(format!(
+            "bad magic line {first:?}, expected {MAGIC:?}"
+        )));
+    }
+
+    let mut config: Option<ExtractorConfig> = None;
+    let mut extra = Vec::new();
+    let mut pairs = Vec::new();
+    let mut vocab = Vec::new();
+
+    for (ln, line) in lines {
+        let line = line.map_err(|e| Error::InvalidDataset(e.to_string()))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| bad(ln, "record needs a payload"))?;
+        match kind {
+            "C" => {
+                let mut f = rest.split_whitespace();
+                let mut next = |name: &str| {
+                    f.next()
+                        .ok_or_else(|| bad(ln, &format!("C line missing {name}")))
+                };
+                let min_activity_count = next("min_activity_count")?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid min_activity_count"))?;
+                let max_activities_per_tip = next("max_activities_per_tip")?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid max_activities_per_tip"))?;
+                let phrase_min_count = next("phrase_min_count")?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid phrase_min_count"))?;
+                let phrase_cohesion: f64 = next("phrase_cohesion")?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid phrase_cohesion"))?;
+                if config.is_some() {
+                    return Err(bad(ln, "duplicate C line"));
+                }
+                config = Some(ExtractorConfig {
+                    min_activity_count,
+                    max_activities_per_tip,
+                    phrase_min_count,
+                    phrase_cohesion,
+                    extra_stopwords: Vec::new(),
+                });
+            }
+            "S" => extra.push(rest.trim().to_string()),
+            "P" => {
+                let (a, b) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| bad(ln, "P line needs two tokens"))?;
+                pairs.push((a.trim().to_string(), b.trim().to_string()));
+            }
+            "V" => {
+                let (count, tag) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| bad(ln, "V line needs `V <count> <tag>`"))?;
+                let count: usize = count.parse().map_err(|_| bad(ln, "invalid count"))?;
+                let tag = tag.trim();
+                if tag.is_empty() {
+                    return Err(bad(ln, "empty tag"));
+                }
+                vocab.push((tag.to_string(), count));
+            }
+            other => return Err(bad(ln, &format!("unknown record kind `{other}`"))),
+        }
+    }
+
+    let mut config = config.ok_or_else(|| Error::InvalidDataset("missing C line".into()))?;
+    config.extra_stopwords = extra;
+    Ok(ActivityExtractor::from_parts(
+        config,
+        PhraseModel::from_pairs(pairs),
+        vocab,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn fitted() -> ActivityExtractor {
+        let corpus = [
+            "great espresso at the coffee shop",
+            "coffee shop with quiet corners and espresso",
+            "espresso before hiking",
+            "hiking the ridge trail",
+            "hiking again, longer trail",
+        ];
+        ActivityExtractor::fit(
+            corpus.iter().copied(),
+            &ExtractorConfig {
+                min_activity_count: 2,
+                phrase_min_count: 2,
+                phrase_cohesion: 2.0,
+                extra_stopwords: vec!["ridge".into()],
+                ..ExtractorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let ex = fitted();
+        let mut buf = Vec::new();
+        write_extractor(&ex, &mut buf).unwrap();
+        let back = read_extractor(BufReader::new(&buf[..])).unwrap();
+
+        assert_eq!(back.vocabulary(), ex.vocabulary());
+        assert_eq!(back.phrases().len(), ex.phrases().len());
+        for tip in [
+            "an espresso at a coffee shop",
+            "hiking the ridge",
+            "quantum seminar",
+            "",
+        ] {
+            assert_eq!(back.extract(tip), ex.extract(tip), "{tip:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_stable() {
+        let ex = fitted();
+        let mut a = Vec::new();
+        write_extractor(&ex, &mut a).unwrap();
+        let back = read_extractor(BufReader::new(&a[..])).unwrap();
+        let mut b = Vec::new();
+        write_extractor(&back, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_snapshots() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("wrong magic\n", "bad magic"),
+            ("atsq-extractor v1\nV nope tag\n", "invalid count"),
+            ("atsq-extractor v1\nC 1 2\n", "missing"),
+            ("atsq-extractor v1\nX who knows\n", "unknown record"),
+            ("atsq-extractor v1\nV 3 \n", "V line needs"),
+        ] {
+            let err = read_extractor(BufReader::new(text.as_bytes()))
+                .expect_err(&format!("{text:?} must fail"));
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?} -> {err} (wanted {needle})"
+            );
+        }
+        // Missing C line entirely.
+        let err = read_extractor(BufReader::new(&b"atsq-extractor v1\nV 3 tag\n"[..]))
+            .unwrap_err();
+        assert!(err.to_string().contains("missing C line"), "{err}");
+    }
+
+    #[test]
+    fn extra_stopwords_survive() {
+        let ex = fitted();
+        let mut buf = Vec::new();
+        write_extractor(&ex, &mut buf).unwrap();
+        let back = read_extractor(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.config().extra_stopwords, vec!["ridge".to_string()]);
+        assert!(back.extract("ridge").is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Dataset persistence and check-in import.
+//!
+//! * [`text`] — a line-oriented snapshot format for [`Dataset`]s:
+//!   human-inspectable, diff-friendly, dependency-free, loss-free for
+//!   everything the query engines consume (vocabulary with counts,
+//!   point coordinates, activity sets).
+//! * [`checkins`] — an importer for raw check-in logs in the shape the
+//!   paper crawls from Foursquare: one CSV row per check-in with user,
+//!   WGS-84 coordinates, timestamp and activity tags. Rows are grouped
+//!   by user, ordered chronologically and projected onto a local
+//!   kilometre plane, yielding an activity-trajectory [`Dataset`].
+//! * [`tips`] — the same importer for logs whose fifth column is a
+//!   free-text tip instead of pre-extracted tags; activities are mined
+//!   with `atsq-text` (tokenize → stopwords → stem → phrases), exactly
+//!   the pipeline the paper applies to Foursquare tips.
+//! * [`extractor`] — snapshots for fitted activity extractors, so the
+//!   mined vocabulary survives process restarts and ad-hoc query text
+//!   keeps mapping onto the same activity ids.
+//!
+//! [`Dataset`]: atsq_types::Dataset
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod checkins;
+pub mod extractor;
+pub mod text;
+pub mod tips;
+
+pub use checkins::{import_checkins, CheckinRecord};
+pub use text::{read_dataset, write_dataset};
+pub use extractor::{read_extractor, write_extractor};
+pub use tips::{import_checkin_tips, parse_tip_row, TipRecord};

@@ -1,0 +1,213 @@
+//! The `atsq v1` text snapshot format.
+//!
+//! ```text
+//! atsq v1
+//! A <count> <name>          # one per vocabulary entry, in id order
+//! T                          # starts a trajectory
+//! P <x> <y> [id,id,...]      # one per point, ids ascending or empty
+//! ```
+//!
+//! Activity ids are implicit in the `A` line order, so the format
+//! round-trips the frequency ranking exactly. Coordinates use `{:?}`
+//! floating-point formatting, which is shortest-exact — reloading
+//! reproduces bit-identical values.
+
+use atsq_types::{ActivityId, ActivitySet, Dataset, Error, Point, Result, TrajectoryPoint};
+use std::io::{BufRead, Write};
+
+const MAGIC: &str = "atsq v1";
+
+/// Serialises a dataset to the text snapshot format.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    let vocab = dataset.vocabulary();
+    for i in 0..vocab.len() as u32 {
+        let id = ActivityId(i);
+        writeln!(
+            out,
+            "A {} {}",
+            vocab.count(id),
+            vocab.name(id).expect("dense vocabulary ids")
+        )?;
+    }
+    for tr in dataset.trajectories() {
+        writeln!(out, "T")?;
+        for p in &tr.points {
+            write!(out, "P {:?} {:?} ", p.loc.x, p.loc.y)?;
+            let mut first = true;
+            for a in p.activities.iter() {
+                if !first {
+                    write!(out, ",")?;
+                }
+                write!(out, "{}", a.0)?;
+                first = false;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses a dataset from the text snapshot format.
+pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset> {
+    let mut lines = input.lines().enumerate();
+    let bad = |line: usize, msg: &str| Error::InvalidDataset(format!("line {}: {msg}", line + 1));
+
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| Error::InvalidDataset("empty input".into()))?;
+    let first = first.map_err(|e| Error::InvalidDataset(e.to_string()))?;
+    if first.trim() != MAGIC {
+        return Err(Error::InvalidDataset(format!(
+            "bad magic line {first:?}, expected {MAGIC:?}"
+        )));
+    }
+
+    let mut builder = atsq_types::DatasetBuilder::new().without_frequency_ranking();
+    let mut current: Option<Vec<TrajectoryPoint>> = None;
+    let mut vocab_len = 0u32;
+
+    for (ln, line) in lines {
+        let line = line.map_err(|e| Error::InvalidDataset(e.to_string()))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.as_bytes()[0] {
+            b'A' => {
+                if current.is_some() {
+                    return Err(bad(ln, "vocabulary entry after trajectories began"));
+                }
+                let rest = line[1..].trim_start();
+                let (count_str, name) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| bad(ln, "A line needs `A <count> <name>`"))?;
+                let count: u64 = count_str
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid activity count"))?;
+                let id = builder.vocabulary_mut().intern(name);
+                if id.0 != vocab_len {
+                    return Err(bad(ln, "duplicate activity name"));
+                }
+                builder.vocabulary_mut().add_count(id, count);
+                vocab_len += 1;
+            }
+            b'T' => {
+                if let Some(points) = current.take() {
+                    builder.push_trajectory(points);
+                }
+                current = Some(Vec::new());
+            }
+            b'P' => {
+                let points = current
+                    .as_mut()
+                    .ok_or_else(|| bad(ln, "P line before any T line"))?;
+                let mut parts = line[1..].split_whitespace();
+                let x: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad(ln, "missing x"))?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid x"))?;
+                let y: f64 = parts
+                    .next()
+                    .ok_or_else(|| bad(ln, "missing y"))?
+                    .parse()
+                    .map_err(|_| bad(ln, "invalid y"))?;
+                let acts = match parts.next() {
+                    None | Some("") => ActivitySet::new(),
+                    Some(list) => {
+                        let ids: std::result::Result<Vec<u32>, _> =
+                            list.split(',').map(str::parse).collect();
+                        let ids = ids.map_err(|_| bad(ln, "invalid activity id"))?;
+                        for &i in &ids {
+                            if i >= vocab_len {
+                                return Err(bad(ln, "activity id out of range"));
+                            }
+                        }
+                        ActivitySet::from_raw(ids)
+                    }
+                };
+                points.push(TrajectoryPoint::new(Point::new(x, y), acts));
+            }
+            _ => return Err(bad(ln, "unknown record type")),
+        }
+    }
+    if let Some(points) = current.take() {
+        builder.push_trajectory(points);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_datagen::{generate, CityConfig};
+
+    fn roundtrip(d: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        write_dataset(d, &mut buf).unwrap();
+        read_dataset(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_generated_dataset() {
+        let d = generate(&CityConfig::tiny(42)).unwrap();
+        let d2 = roundtrip(&d);
+        assert_eq!(d.len(), d2.len());
+        assert_eq!(d.vocabulary().len(), d2.vocabulary().len());
+        for (a, b) in d.trajectories().iter().zip(d2.trajectories()) {
+            assert_eq!(a, b, "trajectory drifted through the snapshot");
+        }
+        // Vocabulary names and counts survive.
+        for i in 0..d.vocabulary().len() as u32 {
+            let id = ActivityId(i);
+            assert_eq!(d.vocabulary().name(id), d2.vocabulary().name(id));
+            assert_eq!(d.vocabulary().count(id), d2.vocabulary().count(id));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_coordinates() {
+        let d = generate(&CityConfig::tiny(7)).unwrap();
+        let d2 = roundtrip(&d);
+        for (a, b) in d.trajectories().iter().zip(d2.trajectories()) {
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert!(pa.loc.x == pb.loc.x && pa.loc.y == pb.loc.y);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let d = atsq_types::DatasetBuilder::new().finish().unwrap();
+        let d2 = roundtrip(&d);
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read_dataset("nonsense\n".as_bytes()).is_err());
+        assert!(read_dataset("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_activity() {
+        let text = "atsq v1\nA 1 coffee\nT\nP 0.0 0.0 5\n";
+        assert!(read_dataset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_point_before_trajectory() {
+        let text = "atsq v1\nA 1 coffee\nP 0.0 0.0 0\n";
+        assert!(read_dataset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tolerates_comments_blank_lines_and_empty_activities() {
+        let text = "atsq v1\n# comment\nA 3 coffee\n\nT\nP 1.0 2.0 0\nP 3.0 4.0 \nT\nP 0.0 0.0 0\n";
+        let d = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.trajectories()[0].points.len(), 2);
+        assert!(d.trajectories()[0].points[1].activities.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property test: the text snapshot round-trips arbitrary datasets
+//! losslessly (structure, coordinates, vocabulary, counts).
+
+use atsq_io::{read_dataset, write_dataset};
+use atsq_types::{ActivitySet, Dataset, DatasetBuilder, Point, TrajectoryPoint};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    let point = (
+        prop::num::f64::NORMAL,
+        prop::num::f64::NORMAL,
+        prop::collection::vec(0u32..15, 0..4),
+    );
+    let traj = prop::collection::vec(point, 0..5);
+    prop::collection::vec(traj, 0..8).prop_map(|trs| {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        for i in 0..15 {
+            b.observe_activity(&format!("tag-{i}"));
+        }
+        for tr in trs {
+            let pts = tr
+                .into_iter()
+                .map(|(x, y, acts)| {
+                    // Keep coordinates finite but otherwise arbitrary.
+                    let x = if x.is_finite() { x } else { 0.0 };
+                    let y = if y.is_finite() { y } else { 0.0 };
+                    TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts))
+                })
+                .collect();
+            b.push_trajectory(pts);
+        }
+        b.finish().expect("valid dataset")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_roundtrip_is_lossless(d in arb_dataset()) {
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).expect("write");
+        let d2 = read_dataset(buf.as_slice()).expect("read back");
+        prop_assert_eq!(d.len(), d2.len());
+        prop_assert_eq!(d.vocabulary().len(), d2.vocabulary().len());
+        for (a, b) in d.trajectories().iter().zip(d2.trajectories()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.points.len(), b.points.len());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                // Bit-exact coordinates via {:?} shortest-round-trip.
+                prop_assert!(pa.loc.x == pb.loc.x && pa.loc.y == pb.loc.y);
+                prop_assert_eq!(&pa.activities, &pb.activities);
+            }
+        }
+        // Double round-trip is a fixed point.
+        let mut buf2 = Vec::new();
+        write_dataset(&d2, &mut buf2).expect("write 2");
+        prop_assert_eq!(buf, buf2);
+    }
+}

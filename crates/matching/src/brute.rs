@@ -1,0 +1,159 @@
+//! Exponential reference oracles for the matching kernels.
+//!
+//! These enumerate point-match combinations directly from the
+//! definitions in §II and §VI-A, with no pruning or clever ordering.
+//! They exist purely to validate the optimised kernels on small inputs
+//! (unit tests and property tests); complexity is `O(2^n)` per query
+//! point and worse for the order-sensitive oracle.
+
+use atsq_types::{Query, TrajectoryPoint};
+
+/// Brute-force `Dmpm(q, Tr)` (Definition 4): minimum over all subsets
+/// of trajectory points whose activity union covers `q.Φ` of the sum
+/// of their distances to `q`.
+pub fn brute_dmpm(
+    q_loc: &atsq_types::Point,
+    q_activities: &atsq_types::ActivitySet,
+    points: &[TrajectoryPoint],
+) -> Option<f64> {
+    assert!(points.len() <= 20, "brute oracle limited to 20 points");
+    let n = points.len();
+    let mut best: Option<f64> = None;
+    for subset in 1u32..(1 << n) {
+        let mut union = atsq_types::ActivitySet::new();
+        let mut cost = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                union.extend_from(&p.activities);
+                cost += q_loc.dist(&p.loc);
+            }
+        }
+        if q_activities.is_subset_of(&union) && best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+/// Brute-force `Dmm(Q, Tr)` (Definition 6 via Lemma 1).
+pub fn brute_dmm(query: &Query, points: &[TrajectoryPoint]) -> Option<f64> {
+    let mut total = 0.0;
+    for q in &query.points {
+        total += brute_dmpm(&q.loc, &q.activities, points)?;
+    }
+    Some(total)
+}
+
+/// Brute-force `Dmom(Q, Tr)` (Definition 7): enumerates, for each query
+/// point in order, every covering subset of the still-allowed suffix of
+/// trajectory points, enforcing `max(P_i) ≤ min(P_{i+1})`.
+pub fn brute_dmom(query: &Query, points: &[TrajectoryPoint]) -> Option<f64> {
+    assert!(points.len() <= 12, "brute order oracle limited to 12 points");
+    fn recurse(
+        query: &Query,
+        points: &[TrajectoryPoint],
+        qi: usize,
+        lo: usize,
+    ) -> Option<f64> {
+        if qi == query.points.len() {
+            return Some(0.0);
+        }
+        let q = &query.points[qi];
+        let n = points.len();
+        let avail = n - lo;
+        let mut best: Option<f64> = None;
+        for subset in 1u32..(1 << avail) {
+            let mut union = atsq_types::ActivitySet::new();
+            let mut cost = 0.0;
+            let mut max_idx = lo;
+            for b in 0..avail {
+                if subset & (1 << b) != 0 {
+                    let idx = lo + b;
+                    union.extend_from(&points[idx].activities);
+                    cost += q.loc.dist(&points[idx].loc);
+                    max_idx = idx;
+                }
+            }
+            if !q.activities.is_subset_of(&union) {
+                continue;
+            }
+            if let Some(rest) = recurse(query, points, qi + 1, max_idx) {
+                let total = cost + rest;
+                if best.is_none_or(|b| total < b) {
+                    best = Some(total);
+                }
+            }
+        }
+        best
+    }
+    recurse(query, points, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::match_distance::min_match_distance;
+    use crate::order_match::min_order_match_distance;
+    use crate::point_match::min_point_match_distance;
+    use atsq_types::{ActivitySet, Point, QueryPoint};
+
+    fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
+        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    }
+
+    fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
+        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    }
+
+    #[test]
+    fn brute_dmpm_simple() {
+        let pts = vec![tp(1.0, 0.0, &[1]), tp(2.0, 0.0, &[2]), tp(4.0, 0.0, &[1, 2])];
+        let q = Point::new(0.0, 0.0);
+        let acts = ActivitySet::from_raw([1, 2]);
+        assert_eq!(brute_dmpm(&q, &acts, &pts), Some(3.0));
+        assert_eq!(
+            brute_dmpm(&q, &ActivitySet::from_raw([9]), &pts),
+            None
+        );
+    }
+
+    #[test]
+    fn oracles_agree_with_kernels_fixed_cases() {
+        let pts = vec![
+            tp(0.0, 1.0, &[1]),
+            tp(2.0, 0.0, &[2, 3]),
+            tp(0.0, 3.0, &[1, 3]),
+            tp(4.0, 4.0, &[2]),
+            tp(1.0, 1.0, &[3]),
+        ];
+        let queries = vec![
+            Query::new(vec![qp(0.0, 0.0, &[1, 2])]).unwrap(),
+            Query::new(vec![qp(0.0, 0.0, &[1]), qp(3.0, 3.0, &[2, 3])]).unwrap(),
+            Query::new(vec![qp(1.0, 0.0, &[3]), qp(0.0, 1.0, &[1]), qp(2.0, 2.0, &[2])])
+                .unwrap(),
+        ];
+        for query in &queries {
+            assert_eq!(brute_dmm(query, &pts), min_match_distance(query, &pts));
+            assert_eq!(
+                brute_dmom(query, &pts),
+                min_order_match_distance(query, &pts, f64::INFINITY),
+                "query: {query:?}"
+            );
+            for q in &query.points {
+                assert_eq!(
+                    brute_dmpm(&q.loc, &q.activities, &pts),
+                    min_point_match_distance(&q.loc, &q.activities, &pts)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_dmom_enforces_order() {
+        let pts = vec![tp(0.0, 0.0, &[2]), tp(1.0, 0.0, &[1])];
+        let query = Query::new(vec![qp(0.0, 0.0, &[1]), qp(0.0, 0.0, &[2])]).unwrap();
+        assert_eq!(brute_dmom(&query, &pts), None);
+        let query_rev = Query::new(vec![qp(0.0, 0.0, &[2]), qp(0.0, 0.0, &[1])]).unwrap();
+        assert_eq!(brute_dmom(&query_rev, &pts), Some(1.0));
+    }
+}

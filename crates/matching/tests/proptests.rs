@@ -1,0 +1,203 @@
+//! Property tests: the optimised kernels must agree with the
+//! brute-force oracles on arbitrary small inputs, and the lower-bound
+//! lemmas of the paper must hold universally.
+
+use atsq_matching::brute::{brute_dmm, brute_dmom, brute_dmpm};
+use atsq_matching::{
+    best_match_distance, min_match_distance, min_order_match_distance,
+    point_match::min_point_match_distance,
+};
+use atsq_types::{ActivitySet, Point, Query, QueryPoint, TrajectoryPoint};
+use proptest::prelude::*;
+
+const ACT_UNIVERSE: u32 = 6;
+
+fn arb_activity_set(max_len: usize) -> impl Strategy<Value = ActivitySet> {
+    prop::collection::vec(0..ACT_UNIVERSE, 1..=max_len).prop_map(ActivitySet::from_raw)
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_traj_point() -> impl Strategy<Value = TrajectoryPoint> {
+    (arb_point(), arb_activity_set(3)).prop_map(|(loc, acts)| TrajectoryPoint::new(loc, acts))
+}
+
+fn arb_trajectory(max_points: usize) -> impl Strategy<Value = Vec<TrajectoryPoint>> {
+    prop::collection::vec(arb_traj_point(), 0..=max_points)
+}
+
+fn arb_query(max_points: usize) -> impl Strategy<Value = Query> {
+    prop::collection::vec(
+        (arb_point(), arb_activity_set(3)).prop_map(|(loc, acts)| QueryPoint::new(loc, acts)),
+        1..=max_points,
+    )
+    .prop_map(|pts| Query::new(pts).expect("generated query points are non-empty"))
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Algorithm 3 equals the exponential oracle.
+    #[test]
+    fn dmpm_matches_brute(
+        tr in arb_trajectory(10),
+        q_loc in arb_point(),
+        q_acts in arb_activity_set(4),
+    ) {
+        let fast = min_point_match_distance(&q_loc, &q_acts, &tr);
+        let slow = brute_dmpm(&q_loc, &q_acts, &tr);
+        match (fast, slow) {
+            (Some(a), Some(b)) => prop_assert!(close(a, b), "fast {a} vs brute {b}"),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    /// Lemma 1 composition equals the oracle.
+    #[test]
+    fn dmm_matches_brute(tr in arb_trajectory(8), query in arb_query(3)) {
+        let fast = min_match_distance(&query, &tr);
+        let slow = brute_dmm(&query, &tr);
+        match (fast, slow) {
+            (Some(a), Some(b)) => prop_assert!(close(a, b)),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    /// Algorithm 4 equals the exponential order-sensitive oracle.
+    #[test]
+    fn dmom_matches_brute(tr in arb_trajectory(7), query in arb_query(3)) {
+        let fast = min_order_match_distance(&query, &tr, f64::INFINITY);
+        let slow = brute_dmom(&query, &tr);
+        match (fast, slow) {
+            (Some(a), Some(b)) => prop_assert!(close(a, b), "fast {a} vs brute {b}"),
+            (None, None) => {}
+            other => prop_assert!(false, "disagreement: {other:?}"),
+        }
+    }
+
+    /// Lemma 2: Dbm ≤ Dmm whenever the trajectory matches.
+    #[test]
+    fn dbm_lower_bounds_dmm(tr in arb_trajectory(8), query in arb_query(3)) {
+        if let Some(dmm) = min_match_distance(&query, &tr) {
+            let dbm = best_match_distance(&query, &tr);
+            prop_assert!(dbm <= dmm + 1e-9, "dbm {dbm} > dmm {dmm}");
+        }
+    }
+
+    /// Lemma 3: Dmm ≤ Dmom whenever the ordered match exists.
+    #[test]
+    fn dmm_lower_bounds_dmom(tr in arb_trajectory(8), query in arb_query(3)) {
+        if let Some(dmom) = min_order_match_distance(&query, &tr, f64::INFINITY) {
+            let dmm = min_match_distance(&query, &tr)
+                .expect("an ordered match implies an unordered match");
+            prop_assert!(dmm <= dmom + 1e-9, "dmm {dmm} > dmom {dmom}");
+        }
+    }
+
+    /// The Dkmom early exit never changes an answer that would have
+    /// qualified: if the exact Dmom is ≤ the threshold, the pruned call
+    /// must return it unchanged.
+    #[test]
+    fn early_exit_is_safe(
+        tr in arb_trajectory(7),
+        query in arb_query(3),
+        threshold in 0.0f64..500.0,
+    ) {
+        let exact = min_order_match_distance(&query, &tr, f64::INFINITY);
+        let pruned = min_order_match_distance(&query, &tr, threshold);
+        match (exact, pruned) {
+            (Some(e), Some(p)) => prop_assert!(close(e, p)),
+            (Some(e), None) => prop_assert!(e > threshold, "pruned a qualifying value {e} ≤ {threshold}"),
+            (None, Some(_)) => prop_assert!(false, "pruned call invented a match"),
+            (None, None) => {}
+        }
+    }
+
+    /// Dmpm is monotone under point removal: dropping trajectory points
+    /// can only keep or worsen (increase) the distance.
+    #[test]
+    fn dmpm_monotone_in_points(
+        tr in arb_trajectory(10),
+        q_loc in arb_point(),
+        q_acts in arb_activity_set(3),
+        keep in prop::collection::vec(any::<bool>(), 10),
+    ) {
+        let full = min_point_match_distance(&q_loc, &q_acts, &tr);
+        let sub: Vec<TrajectoryPoint> = tr
+            .iter()
+            .zip(keep.iter().chain(std::iter::repeat(&true)))
+            .filter(|(_, &k)| k)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let partial = min_point_match_distance(&q_loc, &q_acts, &sub);
+        match (full, partial) {
+            (Some(f), Some(p)) => prop_assert!(f <= p + 1e-9),
+            (None, Some(_)) => prop_assert!(false, "subset matched but superset did not"),
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Witness extraction realises exactly the kernel's distances, and
+    /// the witness sets genuinely cover the query activities.
+    #[test]
+    fn match_witness_realises_dmm(tr in arb_trajectory(8), query in arb_query(3)) {
+        use atsq_matching::witness::min_match_witness;
+        let dmm = min_match_distance(&query, &tr);
+        let ws = min_match_witness(&query, &tr);
+        match (dmm, ws) {
+            (Some(d), Some(ws)) => {
+                let total: f64 = ws.iter().map(|w| w.distance).sum();
+                prop_assert!(close(d, total));
+                for (q, w) in query.points.iter().zip(&ws) {
+                    let mut union = ActivitySet::new();
+                    for &i in &w.points {
+                        union.extend_from(&tr[i as usize].activities);
+                    }
+                    prop_assert!(q.activities.is_subset_of(&union));
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "witness/kernel disagree: {other:?}"),
+        }
+    }
+
+    /// Ordered witness extraction realises Dmom and respects order.
+    #[test]
+    fn order_witness_realises_dmom(tr in arb_trajectory(7), query in arb_query(3)) {
+        use atsq_matching::witness::min_order_match_witness;
+        let dmom = min_order_match_distance(&query, &tr, f64::INFINITY);
+        let ws = min_order_match_witness(&query, &tr);
+        match (dmom, ws) {
+            (Some(d), Some(ws)) => {
+                let total: f64 = ws.iter().map(|w| w.distance).sum();
+                prop_assert!(close(d, total), "kernel {d} vs witness {total}");
+                for pair in ws.windows(2) {
+                    let max_prev = pair[0].points.iter().max().copied().unwrap_or(0);
+                    let min_next = pair[1].points.iter().min().copied().unwrap_or(u32::MAX);
+                    prop_assert!(max_prev <= min_next, "order violated");
+                }
+                for (q, w) in query.points.iter().zip(&ws) {
+                    let mut union = ActivitySet::new();
+                    for &i in &w.points {
+                        union.extend_from(&tr[i as usize].activities);
+                    }
+                    prop_assert!(q.activities.is_subset_of(&union));
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "witness/kernel disagree: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Incremental best-first nearest-neighbour traversal.
+//!
+//! A binary heap keyed by `mindist` interleaves internal nodes, leaves
+//! and payload entries; popping yields items in globally ascending
+//! distance order, lazily. This is the primitive behind the R-tree
+//! baseline's k-BCT style search (§III-B): each query point owns one
+//! such iterator and trajectories are discovered incrementally.
+
+use crate::node::Node;
+use crate::summary::NodeSummary;
+use atsq_types::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One yielded neighbour: the payload, its exact distance and a borrow
+/// of the leaf entry's data.
+#[derive(Debug)]
+pub struct Neighbor<'a, T> {
+    /// Distance from the query point to the entry's rectangle.
+    pub dist: f64,
+    /// The stored payload.
+    pub data: &'a T,
+}
+
+enum HeapItem<'a, T, S: NodeSummary<T>> {
+    Node(&'a Node<T, S>),
+    Entry(&'a T),
+}
+
+struct Prioritized<'a, T, S: NodeSummary<T>> {
+    dist: f64,
+    item: HeapItem<'a, T, S>,
+}
+
+impl<T, S: NodeSummary<T>> PartialEq for Prioritized<'_, T, S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<T, S: NodeSummary<T>> Eq for Prioritized<'_, T, S> {}
+impl<T, S: NodeSummary<T>> PartialOrd for Prioritized<'_, T, S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T, S: NodeSummary<T>> Ord for Prioritized<'_, T, S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: reverse the distance ordering.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Summary predicate used to prune subtrees during traversal.
+type SummaryFilter<'a, S> = Box<dyn Fn(&S) -> bool + 'a>;
+
+/// Lazy ascending-distance iterator over the tree's payloads.
+pub struct NearestIter<'a, T, S: NodeSummary<T>> {
+    heap: BinaryHeap<Prioritized<'a, T, S>>,
+    query: Point,
+    filter: Option<SummaryFilter<'a, S>>,
+}
+
+impl<'a, T, S: NodeSummary<T>> NearestIter<'a, T, S> {
+    pub(crate) fn new(root: Option<&'a Node<T, S>>, query: Point) -> Self {
+        Self::build(root, query, None)
+    }
+
+    pub(crate) fn with_filter(
+        root: Option<&'a Node<T, S>>,
+        query: Point,
+        filter: SummaryFilter<'a, S>,
+    ) -> Self {
+        Self::build(root, query, Some(filter))
+    }
+
+    fn build(
+        root: Option<&'a Node<T, S>>,
+        query: Point,
+        filter: Option<SummaryFilter<'a, S>>,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = root {
+            let keep = filter.as_ref().is_none_or(|f| f(root.summary()));
+            if keep {
+                heap.push(Prioritized {
+                    dist: root.mbr().min_dist(&query),
+                    item: HeapItem::Node(root),
+                });
+            }
+        }
+        NearestIter {
+            heap,
+            query,
+            filter,
+        }
+    }
+
+    /// Distance of the next item without consuming it — the `mdist`
+    /// peek the candidate-retrieval loop of §V-A uses to maintain its
+    /// lower bound.
+    pub fn peek_dist(&self) -> Option<f64> {
+        self.heap.peek().map(|p| p.dist)
+    }
+}
+
+impl<'a, T, S: NodeSummary<T>> Iterator for NearestIter<'a, T, S> {
+    type Item = Neighbor<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Prioritized { dist, item }) = self.heap.pop() {
+            match item {
+                HeapItem::Entry(data) => return Some(Neighbor { dist, data }),
+                HeapItem::Node(node) => match node {
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            self.heap.push(Prioritized {
+                                dist: e.rect.min_dist(&self.query),
+                                item: HeapItem::Entry(&e.data),
+                            });
+                        }
+                    }
+                    Node::Internal { children, .. } => {
+                        for c in children {
+                            let keep =
+                                self.filter.as_ref().is_none_or(|f| f(c.summary()));
+                            if keep {
+                                self.heap.push(Prioritized {
+                                    dist: c.mbr().min_dist(&self.query),
+                                    item: HeapItem::Node(c),
+                                });
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::RTree;
+    use atsq_types::{Point, Rect};
+
+    #[test]
+    fn yields_exactly_all_items_in_order() {
+        let mut t: RTree<usize> = RTree::new();
+        let coords: Vec<(f64, f64)> = (0..200)
+            .map(|i| ((i * 37 % 101) as f64, (i * 53 % 97) as f64))
+            .collect();
+        for (i, &(x, y)) in coords.iter().enumerate() {
+            t.insert(Rect::from_point(Point::new(x, y)), i);
+        }
+        let q = Point::new(50.0, 50.0);
+        let yielded: Vec<(f64, usize)> = t.nearest_iter(q).map(|n| (n.dist, *n.data)).collect();
+        assert_eq!(yielded.len(), 200);
+        assert!(yielded.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Against brute force.
+        let mut brute: Vec<(f64, usize)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (q.dist(&Point::new(x, y)), i))
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (a, b) in yielded.iter().zip(brute.iter()) {
+            assert!((a.0 - b.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn peek_dist_matches_next() {
+        let mut t: RTree<u32> = RTree::new();
+        for i in 0..20u32 {
+            t.insert(Rect::from_point(Point::new(f64::from(i), 0.0)), i);
+        }
+        let mut it = t.nearest_iter(Point::new(5.4, 0.0));
+        // peek may refer to an unexpanded node, so it lower-bounds the
+        // next yielded distance.
+        let peek = it.peek_dist().unwrap();
+        let first = it.next().unwrap();
+        assert!(peek <= first.dist + 1e-12);
+        assert_eq!(*first.data, 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Guttman's quadratic split.
+//!
+//! When a node overflows, its entries are repartitioned into two
+//! groups: first the pair of entries that would waste the most area if
+//! kept together is chosen as seeds; remaining entries are assigned one
+//! at a time, each time picking the entry with the greatest preference
+//! for one group, with the minimum-fill constraint enforced.
+
+use atsq_types::Rect;
+
+/// Area-based enlargement with a margin (half-perimeter) fallback so
+/// that degenerate zero-area rectangles — point data on a line is
+/// common in trajectory workloads — still produce meaningful
+/// preferences instead of all-zero ties.
+fn grow_cost(base: &Rect, add: &Rect) -> f64 {
+    let u = base.union(add);
+    let by_area = u.area() - base.area();
+    if by_area > 0.0 {
+        by_area
+    } else {
+        u.margin() - base.margin()
+    }
+}
+
+/// Splits `items` into two groups by the quadratic algorithm.
+///
+/// `rect_of` extracts each item's rectangle; `min_fill` is the minimum
+/// group size (Guttman's `m`). The input must contain at least
+/// `2 * min_fill` items.
+pub fn split_entries<E>(
+    mut items: Vec<E>,
+    rect_of: impl Fn(&E) -> Rect,
+    min_fill: usize,
+) -> (Vec<E>, Vec<E>) {
+    assert!(
+        items.len() >= 2 * min_fill && items.len() >= 2,
+        "cannot split {} items with min fill {min_fill}",
+        items.len()
+    );
+
+    // PickSeeds: maximise dead area d = area(union) - area(a) - area(b).
+    let (mut seed_a, mut seed_b) = (0usize, 1usize);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let ri = rect_of(&items[i]);
+            let rj = rect_of(&items[j]);
+            let u = ri.union(&rj);
+            let mut d = u.area() - ri.area() - rj.area();
+            if d <= 0.0 {
+                d = u.margin() - ri.margin() - rj.margin();
+            }
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    // Remove seeds (larger index first to keep the other stable).
+    let (hi, lo) = if seed_a > seed_b {
+        (seed_a, seed_b)
+    } else {
+        (seed_b, seed_a)
+    };
+    let item_hi = items.swap_remove(hi);
+    let item_lo = items.swap_remove(lo);
+
+    let mut group_a = vec![item_lo];
+    let mut group_b = vec![item_hi];
+    let mut mbr_a = rect_of(&group_a[0]);
+    let mut mbr_b = rect_of(&group_b[0]);
+    let total = items.len() + 2;
+
+    while let Some(next) = pick_next(&items, &rect_of, &mbr_a, &mbr_b) {
+        // Minimum-fill guard: if one group must absorb everything left
+        // to reach min_fill, hand the rest over wholesale.
+        let remaining = items.len();
+        if group_a.len() + remaining == min_fill {
+            for it in items.drain(..) {
+                mbr_a = mbr_a.union(&rect_of(&it));
+                group_a.push(it);
+            }
+            break;
+        }
+        if group_b.len() + remaining == min_fill {
+            for it in items.drain(..) {
+                mbr_b = mbr_b.union(&rect_of(&it));
+                group_b.push(it);
+            }
+            break;
+        }
+
+        let item = items.swap_remove(next);
+        let r = rect_of(&item);
+        let enl_a = grow_cost(&mbr_a, &r);
+        let enl_b = grow_cost(&mbr_b, &r);
+        // Prefer smaller enlargement; ties by area, then by count.
+        let to_a = match enl_a.partial_cmp(&enl_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => match mbr_a.area().partial_cmp(&mbr_b.area()) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => group_a.len() <= group_b.len(),
+            },
+        };
+        if to_a {
+            mbr_a = mbr_a.union(&r);
+            group_a.push(item);
+        } else {
+            mbr_b = mbr_b.union(&r);
+            group_b.push(item);
+        }
+    }
+
+    debug_assert_eq!(group_a.len() + group_b.len(), total);
+    (group_a, group_b)
+}
+
+/// PickNext: the unassigned item with the largest |enlargement(A) −
+/// enlargement(B)|, i.e. the strongest preference.
+fn pick_next<E>(
+    items: &[E],
+    rect_of: &impl Fn(&E) -> Rect,
+    mbr_a: &Rect,
+    mbr_b: &Rect,
+) -> Option<usize> {
+    let mut best = None;
+    let mut best_pref = f64::NEG_INFINITY;
+    for (i, it) in items.iter().enumerate() {
+        let r = rect_of(it);
+        let pref = (grow_cost(mbr_a, &r) - grow_cost(mbr_b, &r)).abs();
+        if pref > best_pref {
+            best_pref = pref;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_types::Point;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    #[test]
+    fn split_separates_clusters() {
+        // Two well-separated clusters should end up in different groups.
+        let mut items: Vec<Rect> = Vec::new();
+        for i in 0..6 {
+            items.push(pt(f64::from(i), 0.0));
+        }
+        for i in 0..6 {
+            items.push(pt(100.0 + f64::from(i), 0.0));
+        }
+        let (a, b) = split_entries(items, |r| *r, 3);
+        assert_eq!(a.len() + b.len(), 12);
+        let (left, right) = if a[0].min.x < 50.0 { (a, b) } else { (b, a) };
+        assert!(left.iter().all(|r| r.min.x < 50.0));
+        assert!(right.iter().all(|r| r.min.x > 50.0));
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        // A pathological layout (one far outlier) must still satisfy
+        // the minimum fill on both sides.
+        let mut items: Vec<Rect> = (0..11).map(|i| pt(f64::from(i) * 0.1, 0.0)).collect();
+        items.push(pt(1000.0, 1000.0));
+        let (a, b) = split_entries(items, |r| *r, 5);
+        assert!(a.len() >= 5, "group a too small: {}", a.len());
+        assert!(b.len() >= 5, "group b too small: {}", b.len());
+        assert_eq!(a.len() + b.len(), 12);
+    }
+
+    #[test]
+    fn split_handles_identical_rects() {
+        let items: Vec<Rect> = (0..10).map(|_| pt(1.0, 1.0)).collect();
+        let (a, b) = split_entries(items, |r| *r, 4);
+        assert_eq!(a.len() + b.len(), 10);
+        assert!(a.len() >= 4 && b.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_rejects_too_few_items() {
+        let items = vec![pt(0.0, 0.0)];
+        let _ = split_entries(items, |r| *r, 1);
+    }
+}

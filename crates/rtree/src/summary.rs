@@ -1,0 +1,63 @@
+//! Per-node aggregates.
+//!
+//! A [`NodeSummary`] is carried by every R-tree node and summarises the
+//! payloads stored beneath it. Queries can prune whole subtrees by
+//! inspecting the summary — exactly how the IR-tree attaches inverted
+//! files to R-tree nodes (paper §III-C).
+
+/// Aggregate over the payloads below an R-tree node.
+///
+/// Summaries only ever grow (insertion, merge); on node splits the
+/// summaries of the two halves are rebuilt from scratch, so no
+/// subtraction operation is needed.
+pub trait NodeSummary<T>: Default + Clone {
+    /// Folds one payload into the summary.
+    fn add(&mut self, item: &T);
+    /// Folds a child node's summary into this (parent) summary.
+    fn merge(&mut self, other: &Self);
+}
+
+/// The unit summary: a plain R-tree with no per-node aggregate.
+impl<T> NodeSummary<T> for () {
+    #[inline]
+    fn add(&mut self, _item: &T) {}
+    #[inline]
+    fn merge(&mut self, _other: &Self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Clone, PartialEq, Debug)]
+    struct Count(usize);
+
+    impl NodeSummary<u32> for Count {
+        fn add(&mut self, _item: &u32) {
+            self.0 += 1;
+        }
+        fn merge(&mut self, other: &Self) {
+            self.0 += other.0;
+        }
+    }
+
+    #[test]
+    fn counting_summary_tracks_size() {
+        use crate::RTree;
+        use atsq_types::{Point, Rect};
+        let mut t: RTree<u32, Count> = RTree::new();
+        for i in 0..100u32 {
+            t.insert(Rect::from_point(Point::new(f64::from(i), 0.0)), i);
+        }
+        t.check_invariants().unwrap();
+        let root = t.root().unwrap();
+        assert_eq!(root.summary().0, 100);
+    }
+
+    #[test]
+    fn unit_summary_compiles_and_is_noop() {
+        let mut s = ();
+        NodeSummary::<u32>::add(&mut s, &1);
+        NodeSummary::<u32>::merge(&mut s, &());
+    }
+}

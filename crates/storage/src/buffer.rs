@@ -1,0 +1,365 @@
+//! An LRU buffer pool over any [`PageStore`].
+//!
+//! The pool owns a fixed number of frames. Page accesses go through
+//! [`BufferPool::with_page`] / [`BufferPool::with_page_mut`], which pin
+//! the frame only for the duration of the closure — the natural shape
+//! for the APL workload, where a posting blob is decoded immediately
+//! after the fetch. Dirty frames are written back on eviction and on
+//! [`BufferPool::flush_all`].
+//!
+//! Hit/miss/eviction counters are the *measured* replacement for the
+//! simulated `IoStats` disk model: a query's cold-read cost is the
+//! pool's miss delta while it ran.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId};
+use crate::store::PageStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Counters describing pool behaviour since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Accesses served from a resident frame.
+    pub hits: u64,
+    /// Accesses that had to read the page from the store.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back (on eviction or flush).
+    pub write_backs: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; zero when no accesses happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    id: Option<PageId>,
+    dirty: bool,
+    pins: u32,
+    last_use: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner<S> {
+    store: S,
+    frames: Vec<Frame>,
+    table: HashMap<PageId, usize>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+/// The buffer pool. Interior-mutable and `Sync`: engines hold it behind
+/// a shared reference and still serve `&self` queries.
+#[derive(Debug)]
+pub struct BufferPool<S: PageStore> {
+    inner: Mutex<PoolInner<S>>,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// A pool of `capacity` frames over `store`.
+    pub fn new(store: S, capacity: usize) -> StorageResult<Self> {
+        if capacity == 0 {
+            return Err(StorageError::Invalid("buffer pool needs >= 1 frame".into()));
+        }
+        let page_size = store.page_size();
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: Page::new(page_size),
+                id: None,
+                dirty: false,
+                pins: 0,
+                last_use: 0,
+            })
+            .collect();
+        Ok(BufferPool {
+            inner: Mutex::new(PoolInner {
+                store,
+                frames,
+                table: HashMap::with_capacity(capacity),
+                tick: 0,
+                stats: PoolStats::default(),
+            }),
+        })
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Page size of the underlying store.
+    pub fn page_size(&self) -> usize {
+        self.inner.lock().store.page_size()
+    }
+
+    /// Payload bytes available per page (page size minus page header).
+    pub fn payload_size(&self) -> usize {
+        self.page_size() - crate::page::PAGE_HEADER_LEN
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the pool counters (page contents are unaffected).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = PoolStats::default();
+    }
+
+    /// Pages read from / written to the underlying store.
+    pub fn store_io_counts(&self) -> (u64, u64) {
+        self.inner.lock().store.io_counts()
+    }
+
+    /// Allocates a fresh page in the store (not yet resident).
+    pub fn allocate(&self) -> StorageResult<PageId> {
+        self.inner.lock().store.allocate()
+    }
+
+    /// Number of pages in the underlying store.
+    pub fn page_count(&self) -> u64 {
+        self.inner.lock().store.page_count()
+    }
+
+    /// Runs `f` over the payload of page `id`, faulting it in if
+    /// necessary.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let frame = inner.acquire(id)?;
+        let out = f(inner.frames[frame].page.payload());
+        inner.release(frame);
+        Ok(out)
+    }
+
+    /// Runs `f` over the mutable payload of page `id` and marks the
+    /// frame dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let frame = inner.acquire(id)?;
+        inner.frames[frame].dirty = true;
+        let out = f(inner.frames[frame].page.payload_mut());
+        inner.release(frame);
+        Ok(out)
+    }
+
+    /// Writes every dirty frame back and syncs the store.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                inner.write_back(i)?;
+            }
+        }
+        inner.store.sync()
+    }
+
+    /// Consumes the pool, flushing dirty frames, and returns the store.
+    pub fn into_store(self) -> StorageResult<S> {
+        self.flush_all()?;
+        Ok(self.inner.into_inner().store)
+    }
+}
+
+impl<S: PageStore> PoolInner<S> {
+    /// Returns the index of a pinned frame holding page `id`.
+    fn acquire(&mut self, id: PageId) -> StorageResult<usize> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(&frame) = self.table.get(&id) {
+            self.stats.hits += 1;
+            self.frames[frame].pins += 1;
+            self.frames[frame].last_use = tick;
+            return Ok(frame);
+        }
+        self.stats.misses += 1;
+        let frame = self.victim()?;
+        if self.frames[frame].dirty {
+            self.write_back(frame)?;
+        }
+        if let Some(old) = self.frames[frame].id.take() {
+            self.table.remove(&old);
+            self.stats.evictions += 1;
+        }
+        // Read into the frame; on failure the frame is left free.
+        let res = {
+            let f = &mut self.frames[frame];
+            self.store.read(id, &mut f.page)
+        };
+        res?;
+        let f = &mut self.frames[frame];
+        f.id = Some(id);
+        f.dirty = false;
+        f.pins = 1;
+        f.last_use = tick;
+        self.table.insert(id, frame);
+        Ok(frame)
+    }
+
+    fn release(&mut self, frame: usize) {
+        let f = &mut self.frames[frame];
+        debug_assert!(f.pins > 0, "release of unpinned frame");
+        f.pins -= 1;
+    }
+
+    /// Least-recently-used unpinned frame (empty frames first).
+    fn victim(&self) -> StorageResult<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.frames.iter().enumerate() {
+            if f.pins > 0 {
+                continue;
+            }
+            if f.id.is_none() {
+                return Ok(i);
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) if f.last_use < self.frames[b].last_use => best = Some(i),
+                _ => {}
+            }
+        }
+        best.ok_or(StorageError::PoolExhausted)
+    }
+
+    fn write_back(&mut self, frame: usize) -> StorageResult<()> {
+        let id = self.frames[frame].id.expect("dirty frame has an id");
+        let f = &mut self.frames[frame];
+        self.store.write(id, &mut f.page)?;
+        f.dirty = false;
+        self.stats.write_backs += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{FaultInjectingStore, FaultPlan, MemPageStore};
+
+    fn pool(frames: usize) -> BufferPool<MemPageStore> {
+        BufferPool::new(MemPageStore::new(128).unwrap(), frames).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(BufferPool::new(MemPageStore::new(128).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn write_then_read_through_pool() {
+        let p = pool(2);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |payload| payload[..3].copy_from_slice(b"abc"))
+            .unwrap();
+        let got = p.with_page(id, |payload| payload[..3].to_vec()).unwrap();
+        assert_eq!(got, b"abc");
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let p = pool(1); // every new page evicts the previous one
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pl| pl[0] = 1).unwrap();
+        p.with_page_mut(b, |pl| pl[0] = 2).unwrap(); // evicts a, writes it back
+        assert_eq!(p.with_page(a, |pl| pl[0]).unwrap(), 1); // evicts b
+        assert_eq!(p.with_page(b, |pl| pl[0]).unwrap(), 2);
+        let s = p.stats();
+        assert_eq!(s.misses, 4);
+        assert!(s.evictions >= 3);
+        assert!(s.write_backs >= 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap(); // miss: a resident
+        p.with_page(b, |_| ()).unwrap(); // miss: a, b resident
+        p.with_page(a, |_| ()).unwrap(); // hit: a more recent than b
+        p.with_page(c, |_| ()).unwrap(); // miss: evicts b (LRU)
+        p.with_page(a, |_| ()).unwrap(); // hit: a still resident
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 3, 1));
+    }
+
+    #[test]
+    fn hit_ratio_reported() {
+        let p = pool(2);
+        assert_eq!(p.stats().hit_ratio(), 0.0);
+        let a = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        let s = p.stats();
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        p.reset_stats();
+        assert_eq!(p.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn flush_all_persists_to_store() {
+        let p = pool(4);
+        let id = p.allocate().unwrap();
+        p.with_page_mut(id, |pl| pl[..2].copy_from_slice(b"ok")).unwrap();
+        p.flush_all().unwrap();
+        let mut store = p.into_store().unwrap();
+        let mut page = Page::new(store.page_size());
+        store.read(id, &mut page).unwrap();
+        assert_eq!(&page.payload()[..2], b"ok");
+    }
+
+    #[test]
+    fn read_fault_propagates_and_frame_stays_free() {
+        let mut inner = MemPageStore::new(128).unwrap();
+        let id = {
+            let id = inner.allocate().unwrap();
+            let mut page = Page::new(128);
+            inner.write(id, &mut page).unwrap();
+            id
+        };
+        let store = FaultInjectingStore::new(
+            inner,
+            FaultPlan {
+                fail_reads_from: Some(0),
+                ..FaultPlan::default()
+            },
+        );
+        let p = BufferPool::new(store, 2).unwrap();
+        assert!(p.with_page(id, |_| ()).is_err());
+        // The failed read did not leave a phantom resident page.
+        assert_eq!(p.stats().hits, 0);
+    }
+
+    #[test]
+    fn store_io_counts_visible() {
+        let p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pl| pl[0] = 9).unwrap();
+        p.with_page(b, |_| ()).unwrap(); // evicts dirty a -> one store write
+        let (reads, writes) = p.store_io_counts();
+        assert_eq!(reads, 2);
+        assert_eq!(writes, 1);
+    }
+}

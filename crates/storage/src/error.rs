@@ -1,0 +1,130 @@
+//! Storage error type.
+//!
+//! Kept separate from `atsq_types::Error` (which is `Clone + PartialEq`
+//! for query-validation ergonomics): storage errors wrap
+//! [`std::io::Error`] and carry page-level diagnostics.
+
+use crate::page::PageId;
+use std::fmt;
+use std::io;
+
+/// Errors raised by the page store, buffer pool and record heap.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A page failed its checksum or magic verification when read.
+    Corrupt {
+        /// The page that failed verification.
+        page: PageId,
+        /// Human-readable cause (bad magic, checksum mismatch, ...).
+        detail: String,
+    },
+    /// A page id beyond the allocated range was addressed.
+    PageOutOfRange {
+        /// The offending page id.
+        page: PageId,
+        /// Number of pages currently allocated.
+        allocated: u64,
+    },
+    /// Every buffer-pool frame is pinned; nothing can be evicted.
+    PoolExhausted,
+    /// A record id addressed a slot that does not exist.
+    RecordNotFound {
+        /// Page component of the record id.
+        page: PageId,
+        /// Slot component of the record id.
+        slot: u16,
+    },
+    /// A record or page parameter was structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt { page, detail } => {
+                write!(f, "page {} corrupt: {detail}", page.0)
+            }
+            StorageError::PageOutOfRange { page, allocated } => {
+                write!(f, "page {} out of range ({} allocated)", page.0, allocated)
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record not found: page {} slot {slot}", page.0)
+            }
+            StorageError::Invalid(msg) => write!(f, "invalid storage request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (
+                StorageError::Io(io::Error::other("disk on fire")),
+                "i/o error: disk on fire",
+            ),
+            (
+                StorageError::Corrupt {
+                    page: PageId(3),
+                    detail: "checksum mismatch".into(),
+                },
+                "page 3 corrupt: checksum mismatch",
+            ),
+            (
+                StorageError::PageOutOfRange {
+                    page: PageId(9),
+                    allocated: 4,
+                },
+                "page 9 out of range (4 allocated)",
+            ),
+            (StorageError::PoolExhausted, "buffer pool exhausted: all frames pinned"),
+            (
+                StorageError::RecordNotFound {
+                    page: PageId(1),
+                    slot: 7,
+                },
+                "record not found: page 1 slot 7",
+            ),
+            (
+                StorageError::Invalid("record too large".into()),
+                "invalid storage request: record too large",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: StorageError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&StorageError::PoolExhausted).is_none());
+    }
+}

@@ -1,0 +1,419 @@
+//! A heap file of variable-length records over a [`BufferPool`].
+//!
+//! Small records live in slotted pages; records larger than one page
+//! payload are split across a chain of dedicated *overflow* pages. A
+//! [`RecordId`] addresses either kind:
+//!
+//! * inline — `{ page, slot }` into a slotted page,
+//! * chained — `{ page, slot: OVERFLOW_SLOT }`, where `page` is the
+//!   first chunk of the chain.
+//!
+//! Overflow chunk payload layout:
+//!
+//! ```text
+//! [next_page u64]      0 == end of chain (page 0 is always slotted,
+//!                      so it can serve as the nil sentinel)
+//! [total_len u32]      full record length (first chunk only; later
+//!                      chunks repeat their own chunk length here)
+//! [chunk_len u32]
+//! [bytes...]
+//! ```
+//!
+//! The heap is append-oriented — the APL is built once and read many
+//! times — but records can be deleted (tombstoned / chain abandoned);
+//! freed space is only reclaimed by rewriting the heap.
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageId;
+use crate::slotted::SlottedPage;
+use crate::store::PageStore;
+
+/// Slot value marking a chained (overflow) record.
+pub const OVERFLOW_SLOT: u16 = u16::MAX - 1;
+
+const CHUNK_HEADER: usize = 8 + 4 + 4;
+
+/// Address of one record in a [`RecordHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// Page holding the record (or the first overflow chunk).
+    pub page: PageId,
+    /// Slot within the page, or [`OVERFLOW_SLOT`].
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Whether this id addresses an overflow chain.
+    pub fn is_chained(self) -> bool {
+        self.slot == OVERFLOW_SLOT
+    }
+}
+
+/// The heap file.
+#[derive(Debug)]
+pub struct RecordHeap<S: PageStore> {
+    pool: BufferPool<S>,
+    /// Slotted page currently accepting inline inserts.
+    tail: Option<PageId>,
+    records: u64,
+}
+
+impl<S: PageStore> RecordHeap<S> {
+    /// An empty heap over `pool`.
+    pub fn new(pool: BufferPool<S>) -> Self {
+        RecordHeap {
+            pool,
+            tail: None,
+            records: 0,
+        }
+    }
+
+    /// The buffer pool (for stats and flushing).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Number of records appended and not deleted.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the heap holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    fn payload_len(&self) -> usize {
+        // Page size minus the page header; SlottedPage manages the rest.
+        self.pool.payload_size()
+    }
+
+    /// Largest record stored inline (slotted header + one slot entry
+    /// must also fit).
+    fn inline_limit(&self) -> usize {
+        self.payload_len().saturating_sub(8)
+    }
+
+    /// Appends `record`, returning its id.
+    pub fn append(&mut self, record: &[u8]) -> StorageResult<RecordId> {
+        let id = if record.len() <= self.inline_limit() {
+            self.append_inline(record)?
+        } else {
+            self.append_chained(record)?
+        };
+        self.records += 1;
+        Ok(id)
+    }
+
+    fn append_inline(&mut self, record: &[u8]) -> StorageResult<RecordId> {
+        if let Some(page) = self.tail {
+            let slot = self.pool.with_page_mut(page, |payload| {
+                SlottedPage::read(payload).insert(record)
+            })?;
+            if let Some(slot) = slot {
+                return Ok(RecordId { page, slot });
+            }
+        }
+        // Tail missing or full: start a new slotted page.
+        let page = self.pool.allocate()?;
+        let slot = self.pool.with_page_mut(page, |payload| {
+            SlottedPage::init(payload).insert(record)
+        })?;
+        let slot = slot.ok_or_else(|| {
+            StorageError::Invalid(format!(
+                "record of {} bytes does not fit a fresh page",
+                record.len()
+            ))
+        })?;
+        self.tail = Some(page);
+        Ok(RecordId { page, slot })
+    }
+
+    fn append_chained(&mut self, record: &[u8]) -> StorageResult<RecordId> {
+        let chunk_cap = self.payload_len() - CHUNK_HEADER;
+        let chunks: Vec<&[u8]> = record.chunks(chunk_cap).collect();
+        debug_assert!(chunks.len() >= 2, "chained records span multiple chunks");
+        // Allocate the whole chain first so each chunk knows its next.
+        let pages: Vec<PageId> = (0..chunks.len())
+            .map(|_| self.pool.allocate())
+            .collect::<StorageResult<_>>()?;
+        for (i, (&page, chunk)) in pages.iter().zip(&chunks).enumerate() {
+            let next = pages.get(i + 1).map_or(0, |p| p.0);
+            let total = if i == 0 { record.len() } else { chunk.len() } as u32;
+            self.pool.with_page_mut(page, |payload| {
+                payload[0..8].copy_from_slice(&next.to_le_bytes());
+                payload[8..12].copy_from_slice(&total.to_le_bytes());
+                payload[12..16].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+                payload[CHUNK_HEADER..CHUNK_HEADER + chunk.len()].copy_from_slice(chunk);
+            })?;
+        }
+        Ok(RecordId {
+            page: pages[0],
+            slot: OVERFLOW_SLOT,
+        })
+    }
+
+    /// Reads the record at `id`.
+    pub fn get(&self, id: RecordId) -> StorageResult<Vec<u8>> {
+        if id.is_chained() {
+            self.get_chained(id.page)
+        } else {
+            let rec = self.pool.with_page(id.page, |payload| {
+                SlottedPage::read(payload).get(id.slot).map(<[u8]>::to_vec)
+            })?;
+            rec.ok_or(StorageError::RecordNotFound {
+                page: id.page,
+                slot: id.slot,
+            })
+        }
+    }
+
+    fn get_chained(&self, first: PageId) -> StorageResult<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut page = first;
+        let mut hops = 0u64;
+        loop {
+            let next = self.pool.with_page(page, |payload| {
+                let next = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+                let total =
+                    u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+                let chunk_len =
+                    u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes")) as usize;
+                if page == first {
+                    out.reserve(total);
+                }
+                out.extend_from_slice(&payload[CHUNK_HEADER..CHUNK_HEADER + chunk_len]);
+                next
+            })?;
+            if next == 0 {
+                return Ok(out);
+            }
+            hops += 1;
+            if hops > self.pool.page_count() {
+                return Err(StorageError::Corrupt {
+                    page,
+                    detail: "overflow chain cycle".into(),
+                });
+            }
+            page = PageId(next);
+        }
+    }
+
+    /// Deletes the record at `id`. Inline records are tombstoned;
+    /// chained records have their chain head invalidated (chunk pages
+    /// are abandoned, not reused).
+    pub fn delete(&mut self, id: RecordId) -> StorageResult<()> {
+        if id.is_chained() {
+            // Overwrite the head so subsequent reads fail loudly.
+            self.pool.with_page_mut(id.page, |payload| {
+                payload[0..8].copy_from_slice(&0u64.to_le_bytes());
+                payload[8..12].copy_from_slice(&0u32.to_le_bytes());
+                payload[12..16].copy_from_slice(&0u32.to_le_bytes());
+            })?;
+        } else {
+            let removed = self.pool.with_page_mut(id.page, |payload| {
+                SlottedPage::read(payload).remove(id.slot)
+            })?;
+            if !removed {
+                return Err(StorageError::RecordNotFound {
+                    page: id.page,
+                    slot: id.slot,
+                });
+            }
+        }
+        self.records = self.records.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Flushes dirty pages and syncs the store.
+    pub fn flush(&self) -> StorageResult<()> {
+        self.pool.flush_all()
+    }
+
+    /// Rewrites every live record into a fresh heap over `target`,
+    /// reclaiming tombstoned slots and abandoned overflow chains.
+    ///
+    /// `live` is the caller's record directory (the heap itself does
+    /// not track which chained records are still referenced — deleting
+    /// a chain only invalidates its head). Returns the new heap and
+    /// the id remapping in the order of `live`.
+    pub fn compact<T: PageStore>(
+        &self,
+        live: &[RecordId],
+        target: BufferPool<T>,
+    ) -> StorageResult<(RecordHeap<T>, Vec<RecordId>)> {
+        let mut out = RecordHeap::new(target);
+        let mut remap = Vec::with_capacity(live.len());
+        for &id in live {
+            let bytes = self.get(id)?;
+            remap.push(out.append(&bytes)?);
+        }
+        out.flush()?;
+        Ok((out, remap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+
+    fn heap(page_size: usize, frames: usize) -> RecordHeap<MemPageStore> {
+        let pool = BufferPool::new(MemPageStore::new(page_size).unwrap(), frames).unwrap();
+        RecordHeap::new(pool)
+    }
+
+    #[test]
+    fn small_records_share_a_page() {
+        let mut h = heap(256, 4);
+        let a = h.append(b"alpha").unwrap();
+        let b = h.append(b"bravo").unwrap();
+        assert_eq!(a.page, b.page);
+        assert_ne!(a.slot, b.slot);
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"bravo");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn page_overflow_opens_new_tail() {
+        let mut h = heap(128, 4); // payload 112
+        let a = h.append(&[1u8; 60]).unwrap();
+        let b = h.append(&[2u8; 60]).unwrap(); // does not fit with a
+        assert_ne!(a.page, b.page);
+        assert_eq!(h.get(a).unwrap(), vec![1u8; 60]);
+        assert_eq!(h.get(b).unwrap(), vec![2u8; 60]);
+    }
+
+    #[test]
+    fn big_record_chains_and_roundtrips() {
+        let mut h = heap(128, 4);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let id = h.append(&data).unwrap();
+        assert!(id.is_chained());
+        assert_eq!(h.get(id).unwrap(), data);
+    }
+
+    #[test]
+    fn chained_record_with_exact_chunk_multiple() {
+        let mut h = heap(128, 4);
+        let chunk_cap = 112 - CHUNK_HEADER;
+        let data = vec![7u8; chunk_cap * 3];
+        let id = h.append(&data).unwrap();
+        assert_eq!(h.get(id).unwrap(), data);
+    }
+
+    #[test]
+    fn inline_and_chained_interleave() {
+        let mut h = heap(128, 8);
+        let mut ids = Vec::new();
+        for i in 0..20u32 {
+            let len = if i % 3 == 0 { 500 } else { 10 } as usize;
+            let data = vec![i as u8; len];
+            ids.push((h.append(&data).unwrap(), data));
+        }
+        for (id, data) in &ids {
+            assert_eq!(&h.get(*id).unwrap(), data);
+        }
+        assert_eq!(h.len(), 20);
+    }
+
+    #[test]
+    fn delete_inline_then_read_fails() {
+        let mut h = heap(256, 4);
+        let id = h.append(b"bye").unwrap();
+        h.delete(id).unwrap();
+        assert!(matches!(
+            h.get(id),
+            Err(StorageError::RecordNotFound { .. })
+        ));
+        assert!(h.is_empty());
+        // Double delete reports not-found.
+        assert!(h.delete(id).is_err());
+    }
+
+    #[test]
+    fn delete_chained_reads_empty_or_fails() {
+        let mut h = heap(128, 4);
+        let id = h.append(&vec![9u8; 400]).unwrap();
+        h.delete(id).unwrap();
+        // The head chunk was zeroed: the chain now decodes to zero bytes.
+        assert_eq!(h.get(id).unwrap(), Vec::<u8>::new());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let mut h = heap(128, 2);
+        let id = h.append(b"").unwrap();
+        assert_eq!(h.get(id).unwrap(), b"");
+    }
+
+    #[test]
+    fn heap_works_with_tiny_pool() {
+        // One frame: every access evicts; contents must still be exact.
+        let mut h = heap(128, 1);
+        let ids: Vec<(RecordId, Vec<u8>)> = (0..10u8)
+            .map(|i| {
+                let data = vec![i; 50];
+                (h.append(&data).unwrap(), data)
+            })
+            .collect();
+        for (id, data) in &ids {
+            assert_eq!(&h.get(*id).unwrap(), data);
+        }
+        let stats = h.pool().stats();
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_preserves_content() {
+        let mut h = heap(128, 4);
+        let mut live: Vec<(RecordId, Vec<u8>)> = Vec::new();
+        for i in 0..30u32 {
+            // Mix of inline and chained records.
+            let len = if i % 4 == 0 { 400 } else { 30 };
+            let data = vec![(i % 251) as u8; len];
+            let id = h.append(&data).unwrap();
+            if i % 3 == 0 && !id.is_chained() {
+                h.delete(id).unwrap(); // dead weight
+            } else {
+                live.push((id, data));
+            }
+        }
+        let before = h.pool().page_count();
+        let ids: Vec<RecordId> = live.iter().map(|(id, _)| *id).collect();
+        let target = BufferPool::new(MemPageStore::new(128).unwrap(), 4).unwrap();
+        let (compacted, remap) = h.compact(&ids, target).unwrap();
+        assert_eq!(remap.len(), live.len());
+        assert_eq!(compacted.len(), live.len() as u64);
+        assert!(
+            compacted.pool().page_count() <= before,
+            "compaction must not grow the heap"
+        );
+        for (new_id, (_, data)) in remap.iter().zip(&live) {
+            assert_eq!(&compacted.get(*new_id).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn compact_empty_directory_yields_empty_heap() {
+        let mut h = heap(128, 2);
+        let id = h.append(b"gone").unwrap();
+        h.delete(id).unwrap();
+        let target = BufferPool::new(MemPageStore::new(128).unwrap(), 2).unwrap();
+        let (compacted, remap) = h.compact(&[], target).unwrap();
+        assert!(remap.is_empty());
+        assert!(compacted.is_empty());
+        assert_eq!(compacted.pool().page_count(), 0);
+    }
+
+    #[test]
+    fn flush_persists_via_pool() {
+        let mut h = heap(256, 2);
+        let id = h.append(b"durable").unwrap();
+        h.flush().unwrap();
+        assert_eq!(h.get(id).unwrap(), b"durable");
+    }
+}

@@ -1,0 +1,241 @@
+//! The slotted-page record layout.
+//!
+//! Operates on a page *payload* (the region after the page header):
+//!
+//! ```text
+//! [slot_count u16][free_end u16][slot 0][slot 1]...      cells grow
+//!  ^— directory grows rightward                  ...<——— leftward from
+//!                                                        payload end
+//! slot = [offset u16][len u16]   (len == TOMBSTONE marks a hole)
+//! ```
+//!
+//! Records are immutable once inserted (the APL workload is
+//! build-once, read-many); [`SlottedPage::remove`] tombstones a slot
+//! without compaction, which keeps slot ids — and therefore record ids
+//! — stable.
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// A typed view over a slotted payload. Zero-copy: the struct borrows
+/// the payload bytes.
+#[derive(Debug)]
+pub struct SlottedPage<B> {
+    payload: B,
+}
+
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().expect("2-byte slice"))
+}
+
+fn write_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+impl<B: AsRef<[u8]>> SlottedPage<B> {
+    /// Wraps an already initialized payload for reading.
+    pub fn read(payload: B) -> Self {
+        SlottedPage { payload }
+    }
+
+    fn buf(&self) -> &[u8] {
+        self.payload.as_ref()
+    }
+
+    /// Number of slots, tombstoned ones included.
+    pub fn slot_count(&self) -> u16 {
+        read_u16(self.buf(), 0)
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_count(&self) -> u16 {
+        (0..self.slot_count())
+            .filter(|&s| self.get(s).is_some())
+            .count() as u16
+    }
+
+    fn free_end(&self) -> u16 {
+        read_u16(self.buf(), 2)
+    }
+
+    /// Bytes available for one more record (slot entry included).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        (self.free_end() as usize)
+            .saturating_sub(dir_end)
+            .saturating_sub(SLOT)
+    }
+
+    /// Whether a record of `len` bytes (plus its slot entry) fits.
+    ///
+    /// Exact: [`SlottedPage::insert`] succeeds if and only if this
+    /// returns `true`. Unlike [`SlottedPage::free_space`], it resolves
+    /// the zero-length-record case when the gap is exactly one slot
+    /// entry wide.
+    pub fn fits(&self, len: usize) -> bool {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        let gap = (self.free_end() as usize).saturating_sub(dir_end);
+        len < TOMBSTONE as usize && len + SLOT <= gap
+    }
+
+    /// The record in `slot`, or `None` for tombstones and bad slots.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let at = HEADER + slot as usize * SLOT;
+        let off = read_u16(self.buf(), at) as usize;
+        let len = read_u16(self.buf(), at + 2);
+        if len == TOMBSTONE {
+            return None;
+        }
+        self.buf().get(off..off + len as usize)
+    }
+
+    /// Iterates `(slot, record)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+}
+
+impl<B: AsRef<[u8]> + AsMut<[u8]>> SlottedPage<B> {
+    /// Initializes an empty slotted layout over `payload`.
+    pub fn init(mut payload: B) -> Self {
+        let len = payload.as_ref().len();
+        assert!(len >= HEADER + SLOT, "payload too small for slotted layout");
+        assert!(len < TOMBSTONE as usize, "payload too large for u16 offsets");
+        write_u16(payload.as_mut(), 0, 0);
+        write_u16(payload.as_mut(), 2, len as u16);
+        SlottedPage { payload }
+    }
+
+    fn buf_mut(&mut self) -> &mut [u8] {
+        self.payload.as_mut()
+    }
+
+    /// Inserts `record`, returning its slot, or `None` if it does not
+    /// fit. Empty records are valid (a trajectory with an empty
+    /// posting list round-trips).
+    pub fn insert(&mut self, record: &[u8]) -> Option<u16> {
+        if !self.fits(record.len()) {
+            return None;
+        }
+        let slot = self.slot_count();
+        let off = self.free_end() as usize - record.len();
+        self.buf_mut()[off..off + record.len()].copy_from_slice(record);
+        let at = HEADER + slot as usize * SLOT;
+        write_u16(self.buf_mut(), at, off as u16);
+        write_u16(self.buf_mut(), at + 2, record.len() as u16);
+        write_u16(self.buf_mut(), 0, slot + 1);
+        write_u16(self.buf_mut(), 2, off as u16);
+        Some(slot)
+    }
+
+    /// Tombstones `slot`; the space is not reclaimed. Returns whether
+    /// a live record was removed.
+    pub fn remove(&mut self, slot: u16) -> bool {
+        if slot >= self.slot_count() || self.get(slot).is_none() {
+            return false;
+        }
+        let at = HEADER + slot as usize * SLOT;
+        write_u16(self.buf_mut(), at + 2, TOMBSTONE);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(size: usize) -> SlottedPage<Vec<u8>> {
+        SlottedPage::init(vec![0u8; size])
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut p = page(128);
+        let a = p.insert(b"alpha").unwrap();
+        let b = p.insert(b"bravo-bravo").unwrap();
+        assert_eq!(p.get(a), Some(&b"alpha"[..]));
+        assert_eq!(p.get(b), Some(&b"bravo-bravo"[..]));
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn records_fill_from_the_end() {
+        let mut p = page(64);
+        p.insert(b"xx").unwrap();
+        // 64 - 2 = record at offset 62.
+        assert_eq!(&p.buf()[62..64], b"xx");
+    }
+
+    #[test]
+    fn empty_record_is_valid() {
+        let mut p = page(64);
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+        assert_eq!(p.live_count(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_when_full() {
+        let mut p = page(64);
+        assert!(p.insert(&[7u8; 40]).is_some()); // free = 64-40-8(dir)-4(next slot) = 12
+        assert!(p.insert(&[8u8; 13]).is_none());
+        assert!(p.insert(&[8u8; 12]).is_some());
+        assert_eq!(p.free_space(), 0);
+        assert!(p.insert(b"").is_none()); // even empty needs a slot entry
+    }
+
+    #[test]
+    fn free_space_accounts_for_directory() {
+        let p = page(64);
+        // 64 payload - 4 header - 4 for the next slot entry.
+        assert_eq!(p.free_space(), 56);
+    }
+
+    #[test]
+    fn remove_tombstones_without_moving() {
+        let mut p = page(128);
+        let a = p.insert(b"one").unwrap();
+        let b = p.insert(b"two").unwrap();
+        assert!(p.remove(a));
+        assert!(!p.remove(a)); // already a tombstone
+        assert!(!p.remove(99)); // no such slot
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"two"[..])); // b unmoved
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.live_count(), 1);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = page(128);
+        let a = p.insert(b"a").unwrap();
+        p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.remove(a);
+        let got: Vec<(u16, Vec<u8>)> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(got, vec![(1, b"b".to_vec()), (2, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let p = page(64);
+        assert_eq!(p.get(0), None);
+        assert_eq!(p.get(1000), None);
+    }
+
+    #[test]
+    fn reread_after_init_preserves_records() {
+        let mut raw = [0u8; 128];
+        {
+            let mut p = SlottedPage::init(&mut raw[..]);
+            p.insert(b"persist").unwrap();
+        }
+        let p = SlottedPage::read(&raw[..]);
+        assert_eq!(p.get(0), Some(&b"persist"[..]));
+    }
+}

@@ -1,0 +1,532 @@
+//! Page stores: where sealed pages actually live.
+//!
+//! Three implementations:
+//!
+//! * [`MemPageStore`] — pages in a `Vec`; the default for tests and for
+//!   "paged but RAM-resident" experiment runs (page traffic is still
+//!   counted by the buffer pool above it).
+//! * [`FilePageStore`] — pages in a real file via positioned reads and
+//!   writes; what a deployment would use for the APL.
+//! * [`FaultInjectingStore`] — wraps any store and fails according to a
+//!   [`FaultPlan`]; used by the failure-injection tests.
+//!
+//! All stores seal pages on write and verify on read, so corruption is
+//! detected at the store boundary regardless of the backing medium.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, MIN_PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+/// Byte-level page I/O. Implementations are single-threaded; the
+/// [`crate::BufferPool`] provides the shared, locked view.
+pub trait PageStore: Send {
+    /// Size of every page in this store, in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages; valid ids are `0..page_count()`.
+    fn page_count(&self) -> u64;
+
+    /// Allocates a fresh zeroed page at the end of the store.
+    fn allocate(&mut self) -> StorageResult<PageId>;
+
+    /// Reads page `id` into `page` and verifies it.
+    fn read(&mut self, id: PageId, page: &mut Page) -> StorageResult<()>;
+
+    /// Seals `page` content and writes it as page `id`.
+    ///
+    /// Implementations copy from `page`; the caller keeps ownership.
+    fn write(&mut self, id: PageId, page: &mut Page) -> StorageResult<()>;
+
+    /// Flushes buffered writes to the backing medium.
+    fn sync(&mut self) -> StorageResult<()>;
+
+    /// Pages read and written since construction `(reads, writes)`.
+    fn io_counts(&self) -> (u64, u64);
+}
+
+impl PageStore for Box<dyn PageStore> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        (**self).allocate()
+    }
+    fn read(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        (**self).read(id, page)
+    }
+    fn write(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        (**self).write(id, page)
+    }
+    fn sync(&mut self) -> StorageResult<()> {
+        (**self).sync()
+    }
+    fn io_counts(&self) -> (u64, u64) {
+        (**self).io_counts()
+    }
+}
+
+fn check_range(id: PageId, allocated: u64) -> StorageResult<()> {
+    if id.0 >= allocated {
+        Err(StorageError::PageOutOfRange {
+            page: id,
+            allocated,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_page_size(page_size: usize) -> StorageResult<()> {
+    if page_size < MIN_PAGE_SIZE {
+        return Err(StorageError::Invalid(format!(
+            "page size {page_size} below minimum {MIN_PAGE_SIZE}"
+        )));
+    }
+    Ok(())
+}
+
+/// An in-memory page store.
+#[derive(Debug)]
+pub struct MemPageStore {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemPageStore {
+    /// An empty store of `page_size`-byte pages.
+    pub fn new(page_size: usize) -> StorageResult<Self> {
+        check_page_size(page_size)?;
+        Ok(MemPageStore {
+            page_size,
+            pages: Vec::new(),
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Flips one bit of a stored page — corruption injection for tests.
+    pub fn corrupt_byte(&mut self, id: PageId, offset: usize) {
+        self.pages[id.0 as usize][offset] ^= 0xFF;
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        let id = PageId(self.pages.len() as u64);
+        let mut page = Page::new(self.page_size);
+        page.seal();
+        self.pages.push(page.raw().to_vec().into_boxed_slice());
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        check_range(id, self.page_count())?;
+        self.reads += 1;
+        page.raw_mut().copy_from_slice(&self.pages[id.0 as usize]);
+        page.verify(id)
+    }
+
+    fn write(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        check_range(id, self.page_count())?;
+        self.writes += 1;
+        page.seal();
+        self.pages[id.0 as usize].copy_from_slice(page.raw());
+        Ok(())
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn io_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+/// A file-backed page store using positioned I/O.
+#[derive(Debug)]
+pub struct FilePageStore {
+    page_size: usize,
+    file: File,
+    pages: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl FilePageStore {
+    /// Creates (truncating) a page file at `path`.
+    pub fn create(path: &Path, page_size: usize) -> StorageResult<Self> {
+        check_page_size(page_size)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePageStore {
+            page_size,
+            file,
+            pages: 0,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    /// Opens an existing page file; its length must be a whole number
+    /// of pages.
+    pub fn open(path: &Path, page_size: usize) -> StorageResult<Self> {
+        check_page_size(page_size)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Invalid(format!(
+                "file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(FilePageStore {
+            page_size,
+            file,
+            pages: len / page_size as u64,
+            reads: 0,
+            writes: 0,
+        })
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        let id = PageId(self.pages);
+        let mut page = Page::new(self.page_size);
+        page.seal();
+        self.write_at(page.raw(), id.offset(self.page_size))?;
+        self.pages += 1;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        check_range(id, self.pages)?;
+        self.reads += 1;
+        self.read_at(page.raw_mut(), id.offset(self.page_size))?;
+        page.verify(id)
+    }
+
+    fn write(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        check_range(id, self.pages)?;
+        self.writes += 1;
+        page.seal();
+        self.write_at(page.raw(), id.offset(self.page_size))?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn io_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+/// Which operations a [`FaultInjectingStore`] should fail.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail the n-th read (0-based) and every read after it.
+    pub fail_reads_from: Option<u64>,
+    /// Fail the n-th write (0-based) and every write after it.
+    pub fail_writes_from: Option<u64>,
+    /// Fail every `allocate`.
+    pub fail_allocate: bool,
+    /// Fail every `sync`.
+    pub fail_sync: bool,
+    /// External arming switch: when set, the plan only fires while the
+    /// switch holds `true`. Lets a test build a structure over a
+    /// healthy store and then pull the plug before querying it.
+    pub arm_switch: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl FaultPlan {
+    fn armed(&self) -> bool {
+        self.arm_switch
+            .as_ref()
+            .is_none_or(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
+/// Wraps a store and injects [`std::io::ErrorKind::Other`] failures
+/// according to a [`FaultPlan`]. Used by failure-injection tests to
+/// prove that errors propagate instead of corrupting state.
+#[derive(Debug)]
+pub struct FaultInjectingStore<S> {
+    inner: S,
+    plan: FaultPlan,
+    reads_seen: u64,
+    writes_seen: u64,
+}
+
+impl<S: PageStore> FaultInjectingStore<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultInjectingStore {
+            inner,
+            plan,
+            reads_seen: 0,
+            writes_seen: 0,
+        }
+    }
+
+    /// The wrapped store (e.g. to inspect counters after a failure).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn injected(op: &str) -> StorageError {
+        StorageError::Io(std::io::Error::other(format!("injected {op} fault")))
+    }
+}
+
+impl<S: PageStore> PageStore for FaultInjectingStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        if self.plan.armed() && self.plan.fail_allocate {
+            return Err(Self::injected("allocate"));
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        let n = self.reads_seen;
+        self.reads_seen += 1;
+        if self.plan.armed() && self.plan.fail_reads_from.is_some_and(|from| n >= from) {
+            return Err(Self::injected("read"));
+        }
+        self.inner.read(id, page)
+    }
+
+    fn write(&mut self, id: PageId, page: &mut Page) -> StorageResult<()> {
+        let n = self.writes_seen;
+        self.writes_seen += 1;
+        if self.plan.armed() && self.plan.fail_writes_from.is_some_and(|from| n >= from) {
+            return Err(Self::injected("write"));
+        }
+        self.inner.write(id, page)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        if self.plan.armed() && self.plan.fail_sync {
+            return Err(Self::injected("sync"));
+        }
+        self.inner.sync()
+    }
+
+    fn io_counts(&self) -> (u64, u64) {
+        self.inner.io_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::DEFAULT_PAGE_SIZE;
+
+    fn roundtrip(store: &mut dyn PageStore) {
+        let id0 = store.allocate().unwrap();
+        let id1 = store.allocate().unwrap();
+        assert_eq!((id0, id1), (PageId(0), PageId(1)));
+        assert_eq!(store.page_count(), 2);
+
+        let mut page = Page::new(store.page_size());
+        page.payload_mut()[..4].copy_from_slice(b"ping");
+        store.write(id0, &mut page).unwrap();
+        page.payload_mut()[..4].copy_from_slice(b"pong");
+        store.write(id1, &mut page).unwrap();
+
+        let mut out = Page::new(store.page_size());
+        store.read(id0, &mut out).unwrap();
+        assert_eq!(&out.payload()[..4], b"ping");
+        store.read(id1, &mut out).unwrap();
+        assert_eq!(&out.payload()[..4], b"pong");
+        store.sync().unwrap();
+
+        let (r, w) = store.io_counts();
+        assert_eq!((r, w), (2, 2));
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let mut s = MemPageStore::new(256).unwrap();
+        roundtrip(&mut s);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("atsq-storage-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.atsq");
+        let mut s = FilePageStore::create(&path, DEFAULT_PAGE_SIZE).unwrap();
+        roundtrip(&mut s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_reopens_with_data() {
+        let dir = std::env::temp_dir().join("atsq-storage-test-reopen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.atsq");
+        {
+            let mut s = FilePageStore::create(&path, 128).unwrap();
+            let id = s.allocate().unwrap();
+            let mut p = Page::new(128);
+            p.payload_mut()[..5].copy_from_slice(b"hello");
+            s.write(id, &mut p).unwrap();
+            s.sync().unwrap();
+        }
+        let mut s = FilePageStore::open(&path, 128).unwrap();
+        assert_eq!(s.page_count(), 1);
+        let mut p = Page::new(128);
+        s.read(PageId(0), &mut p).unwrap();
+        assert_eq!(&p.payload()[..5], b"hello");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_partial_pages() {
+        let dir = std::env::temp_dir().join("atsq-storage-test-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.atsq");
+        std::fs::write(&path, vec![0u8; 200]).unwrap(); // not a multiple of 128
+        let err = FilePageStore::open(&path, 128).unwrap_err();
+        assert!(matches!(err, StorageError::Invalid(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_reads_are_rejected() {
+        let mut s = MemPageStore::new(128).unwrap();
+        s.allocate().unwrap();
+        let mut p = Page::new(128);
+        let err = s.read(PageId(5), &mut p).unwrap_err();
+        assert!(matches!(err, StorageError::PageOutOfRange { .. }));
+        let err = s.write(PageId(5), &mut p).unwrap_err();
+        assert!(matches!(err, StorageError::PageOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mem_corruption_is_detected_on_read() {
+        let mut s = MemPageStore::new(128).unwrap();
+        let id = s.allocate().unwrap();
+        let mut p = Page::new(128);
+        p.payload_mut()[0] = 42;
+        s.write(id, &mut p).unwrap();
+        s.corrupt_byte(id, 40); // somewhere in the payload
+        let err = s.read(id, &mut p).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_read_fails_from_threshold() {
+        let mut inner = MemPageStore::new(128).unwrap();
+        let id = inner.allocate().unwrap();
+        let mut p = Page::new(128);
+        inner.write(id, &mut p).unwrap();
+        let mut s = FaultInjectingStore::new(
+            inner,
+            FaultPlan {
+                fail_reads_from: Some(1),
+                ..FaultPlan::default()
+            },
+        );
+        s.read(id, &mut p).unwrap(); // read 0 succeeds
+        assert!(s.read(id, &mut p).is_err()); // read 1 fails
+        assert!(s.read(id, &mut p).is_err()); // and stays failing
+    }
+
+    #[test]
+    fn fault_plan_write_allocate_sync() {
+        let inner = MemPageStore::new(128).unwrap();
+        let mut s = FaultInjectingStore::new(
+            inner,
+            FaultPlan {
+                fail_writes_from: Some(0),
+                fail_allocate: true,
+                fail_sync: true,
+                ..FaultPlan::default()
+            },
+        );
+        assert!(s.allocate().is_err());
+        let mut p = Page::new(128);
+        assert!(s.write(PageId(0), &mut p).is_err());
+        assert!(s.sync().is_err());
+        assert_eq!(s.inner().page_count(), 0);
+    }
+
+    #[test]
+    fn store_rejects_tiny_page_size() {
+        assert!(MemPageStore::new(16).is_err());
+    }
+
+    #[test]
+    fn arm_switch_gates_the_plan() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut inner = MemPageStore::new(128).unwrap();
+        let id = inner.allocate().unwrap();
+        let mut p = Page::new(128);
+        inner.write(id, &mut p).unwrap();
+        let switch = Arc::new(AtomicBool::new(false));
+        let mut s = FaultInjectingStore::new(
+            inner,
+            FaultPlan {
+                fail_reads_from: Some(0),
+                arm_switch: Some(Arc::clone(&switch)),
+                ..FaultPlan::default()
+            },
+        );
+        s.read(id, &mut p).unwrap(); // disarmed: healthy
+        switch.store(true, Ordering::Relaxed);
+        assert!(s.read(id, &mut p).is_err()); // armed: faults
+        switch.store(false, Ordering::Relaxed);
+        s.read(id, &mut p).unwrap(); // disarmed again
+    }
+}

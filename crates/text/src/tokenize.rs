@@ -1,0 +1,94 @@
+//! Tip tokenization.
+//!
+//! Tips are short, noisy user text ("Best cappuccino in town!!1",
+//! "try the NY-style pizza 🍕"). The tokenizer lowercases, splits on
+//! anything that is not alphanumeric (keeping intra-word apostrophes
+//! out entirely: `don't` → `don`, `t`, and the length filter then
+//! drops the orphan `t`), and filters pure numbers and very short
+//! tokens.
+
+/// Minimum token length kept by [`tokenize`].
+pub const MIN_TOKEN_LEN: usize = 2;
+
+/// Maximum token length kept (guards against pathological input).
+pub const MAX_TOKEN_LEN: usize = 32;
+
+/// Splits a tip into normalized tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            push_token(&mut out, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut out, current);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, token: String) {
+    let len = token.chars().count();
+    if !(MIN_TOKEN_LEN..=MAX_TOKEN_LEN).contains(&len) {
+        return;
+    }
+    if token.chars().all(|c| c.is_ascii_digit()) {
+        return; // bare numbers carry no activity signal
+    }
+    out.push(token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Best Cappuccino in Town"),
+            vec!["best", "cappuccino", "in", "town"]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_emoji_are_separators() {
+        assert_eq!(
+            tokenize("try the NY-style pizza 🍕!!"),
+            vec!["try", "the", "ny", "style", "pizza"]
+        );
+    }
+
+    #[test]
+    fn numbers_are_dropped_but_alphanumerics_kept() {
+        assert_eq!(tokenize("open 24 7 at pier39"), vec!["open", "at", "pier39"]);
+    }
+
+    #[test]
+    fn short_tokens_are_dropped() {
+        assert_eq!(tokenize("a b c ok"), vec!["ok"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(tokenize("CAFÉ Über"), vec!["café", "über"]);
+    }
+
+    #[test]
+    fn overlong_tokens_are_dropped() {
+        let long = "x".repeat(MAX_TOKEN_LEN + 1);
+        assert!(tokenize(&long).is_empty());
+        let ok = "x".repeat(MAX_TOKEN_LEN);
+        assert_eq!(tokenize(&ok), vec![ok]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the text pipeline: the tokenizer, stemmer,
+//! phrase model and extractor must hold their invariants on arbitrary
+//! input, not just English.
+
+use atsq_text::{stem, tokenize, ActivityExtractor, ExtractorConfig, PhraseModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokens are lowercase alphanumerics within the length bounds,
+    /// regardless of input.
+    #[test]
+    fn tokenize_output_is_normalized(text in ".{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.is_empty());
+            let n = t.chars().count();
+            prop_assert!((2..=32).contains(&n), "bad length: {t}");
+            prop_assert!(t.chars().all(char::is_alphanumeric), "bad char in {t}");
+            // Fully normalized: re-tokenizing a token is the identity.
+            // (Stronger than "no uppercase": some letters, e.g. ℋ,
+            // have no lowercase mapping and legitimately stay as-is.)
+            prop_assert_eq!(tokenize(&t), vec![t.clone()], "not idempotent");
+            prop_assert!(!t.chars().all(|c| c.is_ascii_digit()), "pure number {t}");
+        }
+    }
+
+    /// Tokenization is insensitive to surrounding whitespace and case.
+    #[test]
+    fn tokenize_case_and_space_insensitive(words in prop::collection::vec("[a-z]{2,8}", 0..8)) {
+        let plain = words.join(" ");
+        let shouty = words.join("  ").to_uppercase();
+        prop_assert_eq!(tokenize(&plain), tokenize(&format!("  {shouty} ")));
+    }
+
+    /// Stemming is idempotent and never produces the empty string.
+    #[test]
+    fn stem_is_idempotent(word in "[a-z]{1,16}") {
+        let once = stem(&word);
+        prop_assert!(!once.is_empty());
+        prop_assert_eq!(stem(&once), once.clone(), "word {} -> {}", word, once);
+        // A stem never grows by more than the restored silent 'e'.
+        prop_assert!(once.len() <= word.len() + 1);
+    }
+
+    /// Applying a phrase model never invents tokens: every output token
+    /// is either an input token or the join of two adjacent inputs.
+    #[test]
+    fn phrase_apply_is_conservative(
+        streams in prop::collection::vec(prop::collection::vec("[a-d]{2,3}", 1..6), 1..12),
+    ) {
+        let model = PhraseModel::fit(&streams, 2, 1.0);
+        for stream in &streams {
+            let out = model.apply(stream);
+            prop_assert!(out.len() <= stream.len());
+            let mut i = 0;
+            for tok in &out {
+                if let Some((a, b)) = tok.split_once('_') {
+                    prop_assert_eq!(a, stream[i].as_str());
+                    prop_assert_eq!(b, stream[i + 1].as_str());
+                    i += 2;
+                } else {
+                    prop_assert_eq!(tok, &stream[i]);
+                    i += 1;
+                }
+            }
+            prop_assert_eq!(i, stream.len());
+        }
+    }
+
+    /// Extraction output is sorted, deduplicated, capped, and drawn
+    /// from the fitted vocabulary.
+    #[test]
+    fn extract_output_is_well_formed(
+        corpus in prop::collection::vec(".{0,60}", 1..20),
+        probe in ".{0,60}",
+        cap in 1usize..6,
+    ) {
+        let ex = ActivityExtractor::fit(
+            corpus.iter().map(String::as_str),
+            &ExtractorConfig {
+                min_activity_count: 1,
+                max_activities_per_tip: cap,
+                phrase_min_count: 2,
+                phrase_cohesion: 1.5,
+                ..ExtractorConfig::default()
+            },
+        );
+        let vocab: std::collections::HashSet<&str> =
+            ex.vocabulary().into_iter().map(|(t, _)| t).collect();
+        for tip in corpus.iter().chain(std::iter::once(&probe)) {
+            let acts = ex.extract(tip);
+            prop_assert!(acts.len() <= cap);
+            let mut sorted = acts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &acts, "unsorted or duplicated");
+            for a in &acts {
+                prop_assert!(vocab.contains(a.as_str()), "{a} not in vocabulary");
+            }
+        }
+    }
+
+    /// Every activity extracted from a corpus tip occurs at least
+    /// `min_activity_count` times corpus-wide.
+    #[test]
+    fn vocabulary_respects_min_count(
+        corpus in prop::collection::vec("[a-c]{2,3}( [a-c]{2,3}){0,4}", 1..15),
+        min_count in 1usize..4,
+    ) {
+        let ex = ActivityExtractor::fit(
+            corpus.iter().map(String::as_str),
+            &ExtractorConfig {
+                min_activity_count: min_count,
+                phrase_min_count: 100, // unigrams only: counts are exact
+                ..ExtractorConfig::default()
+            },
+        );
+        for (_, count) in ex.vocabulary() {
+            prop_assert!(count >= min_count);
+        }
+    }
+}

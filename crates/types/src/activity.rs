@@ -1,0 +1,423 @@
+//! Activities and activity sets (Definition 1 of the paper).
+//!
+//! Activities are interned into dense `u32` identifiers by a
+//! [`Vocabulary`]. Following §IV of the paper (the TAS component), the
+//! vocabulary can re-rank identifiers by *descending global frequency*
+//! so that ids of frequently co-occurring activities are numerically
+//! close, which makes the interval sketch compact.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an activity in the vocabulary.
+///
+/// Identifiers are assigned by [`Vocabulary`], and after
+/// [`Vocabulary::rank_by_frequency`] they are ordered by descending
+/// occurrence count (id 0 = most frequent activity), as required by the
+/// trajectory activity sketch of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActivityId(pub u32);
+
+impl ActivityId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A set of activities attached to a trajectory point or query location.
+///
+/// Stored as a sorted, deduplicated vector: point activity sets in
+/// check-in data are tiny (typically 1–5 entries), so a sorted vec beats
+/// a hash set on every operation that matters here and keeps iteration
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ActivitySet {
+    ids: Vec<ActivityId>,
+}
+
+impl ActivitySet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        ActivitySet { ids: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary ids, sorting and deduplicating.
+    pub fn from_ids<I: IntoIterator<Item = ActivityId>>(ids: I) -> Self {
+        let mut ids: Vec<ActivityId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ActivitySet { ids }
+    }
+
+    /// Builds a set from raw `u32` ids (test/datagen convenience).
+    pub fn from_raw<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::from_ids(ids.into_iter().map(ActivityId))
+    }
+
+    /// Number of distinct activities in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sorted slice of the member ids.
+    #[inline]
+    pub fn ids(&self) -> &[ActivityId] {
+        &self.ids
+    }
+
+    /// Iterates over the member ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, id: ActivityId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Inserts an id, keeping the representation sorted. Returns `true`
+    /// if the id was not already present.
+    pub fn insert(&mut self, id: ActivityId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Whether `self ⊆ other` (linear merge over the sorted vecs).
+    pub fn is_subset_of(&self, other: &ActivitySet) -> bool {
+        if self.ids.len() > other.ids.len() {
+            return false;
+        }
+        let mut it = other.ids.iter();
+        'outer: for id in &self.ids {
+            for cand in it.by_ref() {
+                match cand.cmp(id) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether the two sets share at least one activity.
+    pub fn intersects(&self, other: &ActivitySet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The intersection `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &ActivitySet) -> ActivitySet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ActivitySet { ids: out }
+    }
+
+    /// The union `self ∪ other` as a new set.
+    pub fn union(&self, other: &ActivitySet) -> ActivitySet {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        ActivitySet { ids: out }
+    }
+
+    /// Absorbs every id of `other` into `self`.
+    pub fn extend_from(&mut self, other: &ActivitySet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.ids = other.ids.clone();
+            return;
+        }
+        *self = self.union(other);
+    }
+}
+
+impl FromIterator<ActivityId> for ActivitySet {
+    fn from_iter<T: IntoIterator<Item = ActivityId>>(iter: T) -> Self {
+        ActivitySet::from_ids(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a ActivitySet {
+    type Item = ActivityId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ActivityId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+impl fmt::Display for ActivitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The pre-defined activity vocabulary `A` (Definition 1): an interner
+/// from activity names to dense ids, with per-activity occurrence counts.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    by_name: HashMap<String, ActivityId>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> ActivityId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ActivityId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.counts.push(0);
+        id
+    }
+
+    /// Interns `name` and records one occurrence.
+    pub fn observe(&mut self, name: &str) -> ActivityId {
+        let id = self.intern(name);
+        self.counts[id.index()] += 1;
+        id
+    }
+
+    /// Records `n` additional occurrences of an existing id.
+    pub fn add_count(&mut self, id: ActivityId, n: u64) {
+        self.counts[id.index()] += n;
+    }
+
+    /// Looks up an id by name.
+    pub fn get(&self, name: &str) -> Option<ActivityId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`, if in range.
+    pub fn name(&self, id: ActivityId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Occurrence count of `id`.
+    pub fn count(&self, id: ActivityId) -> u64 {
+        self.counts.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct activities (the cardinality `C` of §IV).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Re-assigns ids so that id 0 is the most frequent activity, id 1
+    /// the next, and so on — the frequency ranking §IV prescribes for
+    /// the trajectory activity sketch. Returns the remapping table
+    /// `old id index → new id`, which callers must apply to every
+    /// stored [`ActivitySet`].
+    pub fn rank_by_frequency(&mut self) -> Vec<ActivityId> {
+        let n = self.names.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Stable tie-break on the old id keeps the remap deterministic.
+        order.sort_by(|&a, &b| self.counts[b].cmp(&self.counts[a]).then(a.cmp(&b)));
+        let mut remap = vec![ActivityId(0); n];
+        let mut names = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        for (new_idx, &old_idx) in order.iter().enumerate() {
+            remap[old_idx] = ActivityId(new_idx as u32);
+            names.push(std::mem::take(&mut self.names[old_idx]));
+            counts.push(self.counts[old_idx]);
+        }
+        self.names = names;
+        self.counts = counts;
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), ActivityId(i as u32)))
+            .collect();
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ActivitySet {
+        ActivitySet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.ids(),
+            &[ActivityId(1), ActivityId(3), ActivityId(5)]
+        );
+    }
+
+    #[test]
+    fn contains_and_insert() {
+        let mut s = set(&[2, 4]);
+        assert!(s.contains(ActivityId(2)));
+        assert!(!s.contains(ActivityId(3)));
+        assert!(s.insert(ActivityId(3)));
+        assert!(!s.insert(ActivityId(3)));
+        assert_eq!(s.ids(), &[ActivityId(2), ActivityId(3), ActivityId(4)]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = set(&[1, 3]);
+        let big = set(&[0, 1, 2, 3, 4]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(set(&[]).is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+        assert!(!set(&[1, 5]).is_subset_of(&big));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(a.intersection(&b), set(&[2, 3]));
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4]));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&set(&[7])));
+        assert_eq!(a.intersection(&set(&[])), set(&[]));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = set(&[1, 5]);
+        a.extend_from(&set(&[2, 5, 9]));
+        assert_eq!(a, set(&[1, 2, 5, 9]));
+        let mut e = ActivitySet::new();
+        e.extend_from(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn vocabulary_interns_and_counts() {
+        let mut v = Vocabulary::new();
+        let food = v.observe("food");
+        let food2 = v.observe("food");
+        let art = v.observe("art");
+        assert_eq!(food, food2);
+        assert_ne!(food, art);
+        assert_eq!(v.count(food), 2);
+        assert_eq!(v.count(art), 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name(food), Some("food"));
+        assert_eq!(v.get("art"), Some(art));
+        assert_eq!(v.get("nope"), None);
+    }
+
+    #[test]
+    fn rank_by_frequency_orders_ids() {
+        let mut v = Vocabulary::new();
+        let rare = v.observe("rare");
+        for _ in 0..10 {
+            v.observe("common");
+        }
+        let common = v.get("common").unwrap();
+        for _ in 0..5 {
+            v.observe("mid");
+        }
+        let mid = v.get("mid").unwrap();
+        let remap = v.rank_by_frequency();
+        assert_eq!(remap[common.index()], ActivityId(0));
+        assert_eq!(remap[mid.index()], ActivityId(1));
+        assert_eq!(remap[rare.index()], ActivityId(2));
+        assert_eq!(v.name(ActivityId(0)), Some("common"));
+        assert_eq!(v.count(ActivityId(0)), 10);
+        assert_eq!(v.get("rare"), Some(ActivityId(2)));
+    }
+
+    #[test]
+    fn rank_by_frequency_is_stable_on_ties() {
+        let mut v = Vocabulary::new();
+        let a = v.observe("a");
+        let b = v.observe("b");
+        let remap = v.rank_by_frequency();
+        // Equal counts: original order preserved.
+        assert_eq!(remap[a.index()], ActivityId(0));
+        assert_eq!(remap[b.index()], ActivityId(1));
+    }
+}

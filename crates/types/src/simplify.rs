@@ -1,0 +1,174 @@
+//! Trajectory simplification (Douglas–Peucker).
+//!
+//! Check-in streams often contain long runs of near-collinear,
+//! activity-free points (GPS breadcrumbs between venues). Simplifying
+//! them shrinks indexes without affecting query answers, *provided*
+//! points carrying activities are never dropped — activity points are
+//! what the match distances are computed from, so this module treats
+//! them as mandatory anchors and only thins activity-free points.
+
+use crate::geo::Point;
+use crate::trajectory::TrajectoryPoint;
+
+/// Perpendicular distance from `p` to the segment `a`–`b`.
+fn segment_dist(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len_sq = dx * dx + dy * dy;
+    if len_sq == 0.0 {
+        return p.dist(a);
+    }
+    let t = (((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq).clamp(0.0, 1.0);
+    p.dist(&Point::new(a.x + t * dx, a.y + t * dy))
+}
+
+/// Classic Douglas–Peucker over a slice of points, marking keepers.
+fn dp_mark(points: &[TrajectoryPoint], lo: usize, hi: usize, eps: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (a, b) = (&points[lo].loc, &points[hi].loc);
+    let mut worst = 0.0;
+    let mut worst_idx = lo;
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = segment_dist(&p.loc, a, b);
+        if d > worst {
+            worst = d;
+            worst_idx = i;
+        }
+    }
+    if worst > eps {
+        keep[worst_idx] = true;
+        dp_mark(points, lo, worst_idx, eps, keep);
+        dp_mark(points, worst_idx, hi, eps, keep);
+    }
+}
+
+/// Simplifies a trajectory with tolerance `eps` (km), never dropping
+/// points that carry activities. Returns the surviving points in
+/// order. The first and last points are always kept.
+///
+/// Query results over the simplified trajectory are identical to the
+/// original whenever every query activity set is non-empty (the ATSQ /
+/// OATSQ definitions only ever consult activity-bearing points).
+pub fn simplify(points: &[TrajectoryPoint], eps: f64) -> Vec<TrajectoryPoint> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    *keep.last_mut().expect("non-empty") = true;
+    for (i, p) in points.iter().enumerate() {
+        if !p.activities.is_empty() {
+            keep[i] = true;
+        }
+    }
+    // Run DP between consecutive mandatory anchors so geometry between
+    // venues is preserved to within eps.
+    let anchors: Vec<usize> = keep
+        .iter()
+        .enumerate()
+        .filter(|(_, &k)| k)
+        .map(|(i, _)| i)
+        .collect();
+    for w in anchors.windows(2) {
+        dp_mark(points, w[0], w[1], eps, &mut keep);
+    }
+    points
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| p.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivitySet;
+
+    fn plain(x: f64, y: f64) -> TrajectoryPoint {
+        TrajectoryPoint::new(Point::new(x, y), ActivitySet::new())
+    }
+
+    fn venue(x: f64, y: f64, act: u32) -> TrajectoryPoint {
+        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw([act]))
+    }
+
+    #[test]
+    fn collinear_breadcrumbs_collapse() {
+        let pts: Vec<TrajectoryPoint> = (0..10).map(|i| plain(f64::from(i), 0.0)).collect();
+        let s = simplify(&pts, 0.1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].loc, Point::new(0.0, 0.0));
+        assert_eq!(s[1].loc, Point::new(9.0, 0.0));
+    }
+
+    #[test]
+    fn corners_above_tolerance_survive() {
+        let pts = vec![
+            plain(0.0, 0.0),
+            plain(5.0, 5.0), // 5 km off the straight line
+            plain(10.0, 0.0),
+        ];
+        assert_eq!(simplify(&pts, 1.0).len(), 3);
+        assert_eq!(simplify(&pts, 10.0).len(), 2);
+    }
+
+    #[test]
+    fn activity_points_are_never_dropped() {
+        let pts = vec![
+            plain(0.0, 0.0),
+            venue(1.0, 0.0001, 7), // nearly collinear but a venue
+            plain(2.0, 0.0),
+            plain(3.0, 0.0),
+            venue(4.0, 0.0, 8),
+            plain(5.0, 0.0),
+        ];
+        let s = simplify(&pts, 0.5);
+        let venues: Vec<_> = s.iter().filter(|p| !p.activities.is_empty()).collect();
+        assert_eq!(venues.len(), 2);
+        // Activity-free collinear points between venues vanish.
+        assert!(s.len() < pts.len());
+    }
+
+    #[test]
+    fn tiny_inputs_pass_through() {
+        assert!(simplify(&[], 1.0).is_empty());
+        let one = vec![plain(1.0, 1.0)];
+        assert_eq!(simplify(&one, 1.0).len(), 1);
+        let two = vec![plain(0.0, 0.0), plain(1.0, 1.0)];
+        assert_eq!(simplify(&two, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn segment_dist_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(segment_dist(&Point::new(5.0, 3.0), &a, &b), 3.0);
+        // Beyond the endpoints the distance is to the endpoint.
+        assert_eq!(segment_dist(&Point::new(13.0, 4.0), &a, &b), 5.0);
+        // Degenerate segment.
+        assert_eq!(segment_dist(&Point::new(3.0, 4.0), &a, &a), 5.0);
+    }
+
+    #[test]
+    fn simplified_error_is_bounded() {
+        // Every dropped point must be within eps of the simplified
+        // polyline (checked against its own bracketing kept segment).
+        let pts: Vec<TrajectoryPoint> = (0..50)
+            .map(|i| {
+                let x = f64::from(i) * 0.5;
+                plain(x, (x * 0.7).sin() * 0.3)
+            })
+            .collect();
+        let eps = 0.2;
+        let s = simplify(&pts, eps);
+        for p in &pts {
+            let min_d = s
+                .windows(2)
+                .map(|w| segment_dist(&p.loc, &w[0].loc, &w[1].loc))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d <= eps + 1e-9, "point {} off by {min_d}", p.loc);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Mini shootout of the four engines (IL, RT, IRT, GAT) on one
+//! workload — a console-sized preview of the paper's §VII evaluation.
+//! The full parameter sweeps live in the `experiments` binary of the
+//! `atsq-bench` crate.
+//!
+//! Run with: `cargo run --release --example engine_shootout`
+
+use atsq_core::{Engine, QueryEngine};
+use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+use std::time::Instant;
+
+fn main() {
+    let dataset = generate(&CityConfig::la_like(0.02)).expect("generation");
+    println!(
+        "dataset: {} trajectories, {} check-ins, {} distinct activities",
+        dataset.len(),
+        dataset.stats().venues,
+        dataset.stats().distinct_activities
+    );
+
+    let t0 = Instant::now();
+    let engines = Engine::build_all(&dataset).expect("engines");
+    println!("built IL, RT, IRT, GAT in {:.1?}\n", t0.elapsed());
+
+    let queries = generate_queries(
+        &dataset,
+        &QueryGenConfig {
+            query_points: 4,
+            acts_per_point: 3,
+            diameter_km: Some(10.0),
+            common_acts_only: false,
+            seed: 42,
+        },
+        20,
+    );
+
+    println!("{:<6} {:>14} {:>14}", "engine", "ATSQ avg", "OATSQ avg");
+    let mut reference: Option<Vec<_>> = None;
+    for e in &engines {
+        let t = Instant::now();
+        let answers: Vec<_> = queries.iter().map(|q| e.atsq(&dataset, q, 9)).collect();
+        let atsq_avg = t.elapsed() / queries.len() as u32;
+
+        let t = Instant::now();
+        for q in &queries {
+            let _ = e.oatsq(&dataset, q, 9);
+        }
+        let oatsq_avg = t.elapsed() / queries.len() as u32;
+
+        println!("{:<6} {:>14.2?} {:>14.2?}", e.name(), atsq_avg, oatsq_avg);
+
+        // All engines must agree — that's the point of baselines.
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(r, &answers, "{} disagreed with IL", e.name()),
+        }
+    }
+    println!("\nall engines returned identical top-9 answers ✓");
+}

@@ -1,0 +1,66 @@
+//! Witness extraction: don't just rank trajectories — show *which*
+//! venues realise the match (the `Tr.MM(Q)` point sets of the paper's
+//! Definition 6), which is what a trip-planning UI actually renders.
+//!
+//! Run with: `cargo run --release --example itinerary_match`
+
+use atsq_core::matching::witness::{min_match_witness, min_order_match_witness};
+use atsq_core::prelude::*;
+use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+fn main() {
+    let dataset = generate(&CityConfig::la_like(0.01)).expect("generation");
+    let engine = GatEngine::build(&dataset).expect("index");
+    let query = generate_queries(
+        &dataset,
+        &QueryGenConfig {
+            query_points: 3,
+            acts_per_point: 2,
+            diameter_km: Some(8.0),
+            common_acts_only: false,
+            seed: 7,
+        },
+        1,
+    )
+    .remove(0);
+
+    println!("Plan ({} stops, δ = {:.1} km):", query.len(), query.diameter());
+    for (i, p) in query.points.iter().enumerate() {
+        let names: Vec<&str> = p
+            .activities
+            .iter()
+            .filter_map(|a| dataset.vocabulary().name(a))
+            .collect();
+        println!("  stop {}: near {} do {:?}", i + 1, p.loc, names);
+    }
+
+    let results = engine.atsq(&dataset, &query, 3);
+    println!("\nTop-{} matches with their witness venues:", results.len());
+    for r in &results {
+        let tr = dataset.trajectory(r.trajectory);
+        println!("\n  {}  (Dmm = {:.3} km)", r.trajectory, r.distance);
+        let witnesses =
+            min_match_witness(&query, &tr.points).expect("result must be a match");
+        for (i, w) in witnesses.iter().enumerate() {
+            println!("    stop {} covered at cost {:.3} km by:", i + 1, w.distance);
+            for &pi in &w.points {
+                let p = &tr.points[pi as usize];
+                let names: Vec<&str> = p
+                    .activities
+                    .iter()
+                    .filter_map(|a| dataset.vocabulary().name(a))
+                    .collect();
+                println!("      venue #{pi} at {} with {:?}", p.loc, names);
+            }
+        }
+        // The order-sensitive witness, when one exists, shows the
+        // stops in visiting order.
+        match min_order_match_witness(&query, &tr.points) {
+            Some(ordered) => {
+                let total: f64 = ordered.iter().map(|w| w.distance).sum();
+                println!("    order-sensitive itinerary exists (Dmom = {total:.3} km)");
+            }
+            None => println!("    no order-sensitive itinerary for this trajectory"),
+        }
+    }
+}

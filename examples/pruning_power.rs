@@ -1,0 +1,61 @@
+//! Why GAT wins: run the same workload through all four engines and
+//! compare *work*, not just time — candidates retrieved, distance
+//! evaluations, sketch discards (the `Profiled` counters behind the
+//! `experiments prune` report).
+//!
+//! Run with: `cargo run --release --example pruning_power`
+
+use atsq_core::prelude::*;
+use atsq_core::{Engine, Profiled};
+use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+fn main() {
+    let dataset = generate(&CityConfig::la_like(0.02)).expect("generation");
+    let queries = generate_queries(
+        &dataset,
+        &QueryGenConfig {
+            query_points: 4,
+            acts_per_point: 3,
+            diameter_km: Some(10.0),
+            ..Default::default()
+        },
+        25,
+    );
+    println!(
+        "{} trajectories, {} queries (Table V defaults)\n",
+        dataset.len(),
+        queries.len()
+    );
+
+    let engines = Engine::build_all(&dataset).expect("engines build");
+    println!(
+        "{:<6}{:>12}{:>12}{:>12}{:>12}{:>9}",
+        "engine", "candidates", "dist evals", "TAS-pruned", "APL reads", "prune%"
+    );
+    let mut reference: Option<Vec<Vec<QueryResult>>> = None;
+    for e in &engines {
+        e.reset_counters();
+        let answers: Vec<_> = queries.iter().map(|q| e.atsq(&dataset, q, 9)).collect();
+        // Identical answers are the precondition for comparing work.
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(r, &answers, "{} diverged", e.name()),
+        }
+        let c = e.counters();
+        let per = |v: u64| v as f64 / queries.len() as f64;
+        println!(
+            "{:<6}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>8.1}%",
+            e.name(),
+            per(c.candidates),
+            per(c.distance_evals),
+            per(c.tas_pruned),
+            per(c.apl_reads),
+            c.prune_ratio() * 100.0
+        );
+    }
+    println!(
+        "\nsame answers everywhere; GAT simply refuses to refine most of\n\
+         what it retrieves — the paper's \"prune by location proximity and\n\
+         activity containment simultaneously\" (§I), measured."
+    );
+}

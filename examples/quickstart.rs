@@ -1,0 +1,60 @@
+//! Quickstart: build a tiny activity-trajectory database by hand, ask
+//! for the best trajectories covering a two-stop plan, and print the
+//! ranked answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use atsq_core::prelude::*;
+
+fn main() {
+    // --- 1. Build a dataset -------------------------------------------------
+    // Three users' check-in histories in a small town. Coordinates are
+    // kilometres on a local plane.
+    let mut b = DatasetBuilder::new();
+    let coffee = b.observe_activity("coffee");
+    let art = b.observe_activity("art-gallery");
+    let hike = b.observe_activity("hiking");
+    let food = b.observe_activity("street-food");
+
+    // User 0: coffee downtown, then the gallery district.
+    b.push_trajectory(vec![
+        TrajectoryPoint::new(Point::new(0.2, 0.1), ActivitySet::from_ids([coffee])),
+        TrajectoryPoint::new(Point::new(2.1, 1.9), ActivitySet::from_ids([art])),
+        TrajectoryPoint::new(Point::new(3.0, 2.5), ActivitySet::from_ids([food])),
+    ]);
+    // User 1: gallery first, coffee later (reverse order!).
+    b.push_trajectory(vec![
+        TrajectoryPoint::new(Point::new(2.0, 2.0), ActivitySet::from_ids([art])),
+        TrajectoryPoint::new(Point::new(0.1, 0.0), ActivitySet::from_ids([coffee])),
+    ]);
+    // User 2: hiking far away.
+    b.push_trajectory(vec![
+        TrajectoryPoint::new(Point::new(20.0, 20.0), ActivitySet::from_ids([hike])),
+        TrajectoryPoint::new(Point::new(21.0, 20.0), ActivitySet::from_ids([coffee])),
+    ]);
+    let dataset = b.finish().expect("valid dataset");
+
+    // --- 2. Index with GAT --------------------------------------------------
+    let engine = GatEngine::build(&dataset).expect("index build");
+
+    // --- 3. Ask: coffee near the station, then art near the old town -------
+    let coffee = dataset.vocabulary().get("coffee").unwrap();
+    let art = dataset.vocabulary().get("art-gallery").unwrap();
+    let query = Query::new(vec![
+        QueryPoint::new(Point::new(0.0, 0.0), ActivitySet::from_ids([coffee])),
+        QueryPoint::new(Point::new(2.0, 2.0), ActivitySet::from_ids([art])),
+    ])
+    .expect("valid query");
+
+    println!("ATSQ (order-free) top-3:");
+    for r in engine.atsq(&dataset, &query, 3) {
+        println!("  {}  Dmm = {:.3} km", r.trajectory, r.distance);
+    }
+
+    // The order-sensitive variant demands coffee BEFORE art: user 1's
+    // reversed trip drops out.
+    println!("OATSQ (coffee first, then art) top-3:");
+    for r in engine.oatsq(&dataset, &query, 3) {
+        println!("  {}  Dmom = {:.3} km", r.trajectory, r.distance);
+    }
+}

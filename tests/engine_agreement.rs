@@ -1,0 +1,199 @@
+//! Cross-engine agreement: all four engines (IL, RT, IRT, GAT) must
+//! return identical top-k results for both ATSQ and OATSQ on arbitrary
+//! generated workloads, and all must agree with a brute-force scan
+//! that evaluates every trajectory with the distance kernels.
+
+use atsq_core::{Engine, QueryEngine};
+use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+use atsq_matching::order_match::min_order_match_distance;
+use atsq_matching::min_match_distance;
+use atsq_types::{rank_top_k, Dataset, Query, QueryResult};
+
+/// Exhaustive oracle for ATSQ.
+fn scan_atsq(dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+    let mut res = Vec::new();
+    for tr in dataset.trajectories() {
+        if let Some(d) = min_match_distance(query, &tr.points) {
+            res.push(QueryResult::new(tr.id, d));
+        }
+    }
+    rank_top_k(res, k)
+}
+
+/// Exhaustive oracle for OATSQ.
+fn scan_oatsq(dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+    let mut res = Vec::new();
+    for tr in dataset.trajectories() {
+        if let Some(d) = min_order_match_distance(query, &tr.points, f64::INFINITY) {
+            res.push(QueryResult::new(tr.id, d));
+        }
+    }
+    rank_top_k(res, k)
+}
+
+/// Compares result lists with distance tolerance (engines may compute
+/// identical sums in different float orders).
+fn assert_results_eq(a: &[QueryResult], b: &[QueryResult], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch\n{a:?}\n{b:?}");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.trajectory, y.trajectory, "{ctx}: ranking mismatch\n{a:?}\n{b:?}");
+        assert!(
+            (x.distance - y.distance).abs() < 1e-6,
+            "{ctx}: distance mismatch {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn check_city(city: CityConfig, seeds: &[u64]) {
+    let dataset = generate(&city).unwrap();
+    let engines = Engine::build_all(&dataset).unwrap();
+    for &seed in seeds {
+        for (qp, apq) in [(2usize, 2usize), (3, 1), (4, 3)] {
+            let queries = generate_queries(
+                &dataset,
+                &QueryGenConfig {
+                    query_points: qp,
+                    acts_per_point: apq,
+                    diameter_km: None,
+                    common_acts_only: false,
+                    seed,
+                },
+                3,
+            );
+            for (qi, q) in queries.iter().enumerate() {
+                for k in [1usize, 5, 9] {
+                    let want = scan_atsq(&dataset, q, k);
+                    for e in &engines {
+                        let got = e.atsq(&dataset, q, k);
+                        assert_results_eq(
+                            &got,
+                            &want,
+                            &format!("{} atsq seed={seed} q#{qi} k={k}", e.name()),
+                        );
+                    }
+                    let want_o = scan_oatsq(&dataset, q, k);
+                    for e in &engines {
+                        let got = e.oatsq(&dataset, q, k);
+                        assert_results_eq(
+                            &got,
+                            &want_o,
+                            &format!("{} oatsq seed={seed} q#{qi} k={k}", e.name()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_tiny_city() {
+    check_city(CityConfig::tiny(101), &[1, 2]);
+}
+
+#[test]
+fn engines_agree_la_sample() {
+    check_city(CityConfig::la_like(0.003), &[3]);
+}
+
+#[test]
+fn engines_agree_ny_sample() {
+    check_city(CityConfig::ny_like(0.002), &[4]);
+}
+
+#[test]
+fn engines_agree_with_diameter_control() {
+    let dataset = generate(&CityConfig::tiny(77)).unwrap();
+    let engines = Engine::build_all(&dataset).unwrap();
+    for diameter in [2.0, 8.0] {
+        let queries = generate_queries(
+            &dataset,
+            &QueryGenConfig {
+                query_points: 3,
+                acts_per_point: 2,
+                diameter_km: Some(diameter),
+                common_acts_only: false,
+                seed: 9,
+            },
+            3,
+        );
+        for q in &queries {
+            let want = scan_atsq(&dataset, q, 5);
+            for e in &engines {
+                assert_results_eq(&e.atsq(&dataset, q, 5), &want, e.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn top_k_is_prefix_of_top_k_plus_one() {
+    let dataset = generate(&CityConfig::tiny(55)).unwrap();
+    let engines = Engine::build_all(&dataset).unwrap();
+    let queries = generate_queries(&dataset, &QueryGenConfig::default(), 3);
+    for q in &queries {
+        for e in &engines {
+            let k5 = e.atsq(&dataset, q, 5);
+            let k6 = e.atsq(&dataset, q, 6);
+            assert!(k6.len() >= k5.len());
+            assert_eq!(&k6[..k5.len()], &k5[..], "{} prefix property", e.name());
+        }
+    }
+}
+
+/// Range-query agreement: for any radius, all engines return exactly
+/// the scan oracle's within-τ set, ascending, for both query types.
+#[test]
+fn range_queries_agree_with_oracle() {
+    let dataset = generate(&CityConfig::tiny(202)).unwrap();
+    let engines = Engine::build_all(&dataset).unwrap();
+    let queries = generate_queries(&dataset, &QueryGenConfig::default(), 4);
+    for q in &queries {
+        // Pick radii from actual result distances to exercise both
+        // empty and populous ranges.
+        let all = scan_atsq(&dataset, q, usize::MAX);
+        let radii: Vec<f64> = [0.0, 0.5, 2.0]
+            .iter()
+            .copied()
+            .chain(all.get(2).map(|r| r.distance + 1e-9))
+            .collect();
+        for tau in radii {
+            let want: Vec<QueryResult> = all
+                .iter()
+                .filter(|r| r.distance <= tau)
+                .cloned()
+                .collect();
+            for e in &engines {
+                let got = e.atsq_range(&dataset, q, tau);
+                assert_results_eq(&got, &want, &format!("{} atsq_range τ={tau}", e.name()));
+            }
+            let all_o = scan_oatsq(&dataset, q, usize::MAX);
+            let want_o: Vec<QueryResult> = all_o
+                .iter()
+                .filter(|r| r.distance <= tau)
+                .cloned()
+                .collect();
+            for e in &engines {
+                let got = e.oatsq_range(&dataset, q, tau);
+                assert_results_eq(&got, &want_o, &format!("{} oatsq_range τ={tau}", e.name()));
+            }
+        }
+    }
+}
+
+/// Negative radius and radius-zero edge cases.
+#[test]
+fn range_query_edge_radii() {
+    let dataset = generate(&CityConfig::tiny(203)).unwrap();
+    let engines = Engine::build_all(&dataset).unwrap();
+    let q = &generate_queries(&dataset, &QueryGenConfig::default(), 1)[0];
+    for e in &engines {
+        assert!(e.atsq_range(&dataset, q, -1.0).is_empty(), "{}", e.name());
+        // τ = 0 returns only exact-location perfect matches (the
+        // source trajectory qualifies when the query kept its venues'
+        // own activities and locations).
+        for r in e.atsq_range(&dataset, q, 0.0) {
+            assert_eq!(r.distance, 0.0);
+        }
+    }
+}
