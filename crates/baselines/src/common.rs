@@ -1,7 +1,7 @@
 //! Shared candidate-evaluation helpers for the baseline engines.
 
-use atsq_matching::order_match::{min_order_match_distance, order_feasible};
 use atsq_matching::min_match_distance;
+use atsq_matching::order_match::{min_order_match_distance, order_feasible};
 use atsq_types::{Dataset, Query, TrajectoryId};
 
 /// Evaluates `Dmm(Q, Tr)` for a candidate; `None` when the trajectory
@@ -12,12 +12,7 @@ pub fn evaluate_atsq(dataset: &Dataset, query: &Query, tr: TrajectoryId) -> Opti
 
 /// Evaluates `Dmom(Q, Tr)` with the MIB pre-filter and the caller's
 /// current `k`-th best as the Algorithm-4 early-exit threshold.
-pub fn evaluate_oatsq(
-    dataset: &Dataset,
-    query: &Query,
-    tr: TrajectoryId,
-    dk: f64,
-) -> Option<f64> {
+pub fn evaluate_oatsq(dataset: &Dataset, query: &Query, tr: TrajectoryId, dk: f64) -> Option<f64> {
     let points = &dataset.trajectory(tr).points;
     if !order_feasible(query, points) {
         return None;

@@ -61,8 +61,7 @@ impl IlEngine {
         if all.is_empty() {
             return Vec::new();
         }
-        let mut lists: Vec<&[TrajectoryId]> =
-            all.iter().map(|a| self.list(a)).collect();
+        let mut lists: Vec<&[TrajectoryId]> = all.iter().map(|a| self.list(a)).collect();
         lists.sort_by_key(|l| l.len());
         if lists[0].is_empty() {
             return Vec::new();
@@ -141,11 +140,17 @@ mod tests {
     use atsq_types::{ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint};
 
     fn tp(x: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, 0.0), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, 0.0),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, 0.0), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, 0.0),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn dataset() -> Dataset {

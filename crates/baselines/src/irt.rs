@@ -92,7 +92,13 @@ impl IrtEngine {
             .map(|q| self.tree.nearest_with_any_activity(q.loc, &q.activities))
             .collect();
         crate::rt::run_incremental_range(
-            dataset, query, tau, false, iters, |it| it.peek_dist(), &self.fetches,
+            dataset,
+            query,
+            tau,
+            false,
+            iters,
+            |it| it.peek_dist(),
+            &self.fetches,
         )
     }
 
@@ -104,7 +110,13 @@ impl IrtEngine {
             .map(|q| self.tree.nearest_with_any_activity(q.loc, &q.activities))
             .collect();
         crate::rt::run_incremental_range(
-            dataset, query, tau, true, iters, |it| it.peek_dist(), &self.fetches,
+            dataset,
+            query,
+            tau,
+            true,
+            iters,
+            |it| it.peek_dist(),
+            &self.fetches,
         )
     }
 }
@@ -113,16 +125,20 @@ impl IrtEngine {
 mod tests {
     use super::*;
     use crate::rt::RtEngine;
-    use atsq_types::{
-        ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint,
-    };
+    use atsq_types::{ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint};
 
     fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn dataset() -> Dataset {
@@ -132,10 +148,7 @@ mod tests {
         }
         for i in 0..30u32 {
             let x = f64::from(i) * 2.0;
-            b.push_trajectory(vec![
-                tp(x, 0.0, &[i % 4]),
-                tp(x + 1.0, 1.0, &[(i + 1) % 4]),
-            ]);
+            b.push_trajectory(vec![tp(x, 0.0, &[i % 4]), tp(x + 1.0, 1.0, &[(i + 1) % 4])]);
         }
         b.finish().unwrap()
     }
@@ -149,8 +162,12 @@ mod tests {
         let queries = vec![
             Query::new(vec![qp(5.0, 0.0, &[0]), qp(20.0, 0.0, &[1])]).unwrap(),
             Query::new(vec![qp(0.0, 0.0, &[2, 3])]).unwrap(),
-            Query::new(vec![qp(30.0, 0.0, &[1]), qp(31.0, 0.0, &[2]), qp(32.0, 0.0, &[3])])
-                .unwrap(),
+            Query::new(vec![
+                qp(30.0, 0.0, &[1]),
+                qp(31.0, 0.0, &[2]),
+                qp(32.0, 0.0, &[3]),
+            ])
+            .unwrap(),
         ];
         for q in &queries {
             for k in [1, 3, 7] {

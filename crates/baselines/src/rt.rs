@@ -119,17 +119,16 @@ impl RtEngine {
                 break;
             }
             let Some((idx, _)) = best_idx else { break };
-            let Some(neighbor) = iters[idx].next() else { break };
+            let Some(neighbor) = iters[idx].next() else {
+                break;
+            };
             let tr = neighbor.data.trajectory;
             if seen[tr.index()] {
                 continue;
             }
             seen[tr.index()] = true;
             self.fetches.fetch_add(1, Ordering::Relaxed);
-            let d = atsq_matching::best_match_distance(
-                query,
-                &dataset.trajectory(tr).points,
-            );
+            let d = atsq_matching::best_match_distance(query, &dataset.trajectory(tr).points);
             if d.is_finite() {
                 top.offer(d, tr);
             }
@@ -144,7 +143,15 @@ impl RtEngine {
             .iter()
             .map(|q| self.tree.nearest_iter(q.loc))
             .collect();
-        run_incremental_range(dataset, query, tau, false, iters, |it| it.peek_dist(), &self.fetches)
+        run_incremental_range(
+            dataset,
+            query,
+            tau,
+            false,
+            iters,
+            |it| it.peek_dist(),
+            &self.fetches,
+        )
     }
 
     /// Range OATSQ: every trajectory with `Dmom ≤ tau`, ascending.
@@ -154,7 +161,15 @@ impl RtEngine {
             .iter()
             .map(|q| self.tree.nearest_iter(q.loc))
             .collect();
-        run_incremental_range(dataset, query, tau, true, iters, |it| it.peek_dist(), &self.fetches)
+        run_incremental_range(
+            dataset,
+            query,
+            tau,
+            true,
+            iters,
+            |it| it.peek_dist(),
+            &self.fetches,
+        )
     }
 }
 
@@ -196,7 +211,9 @@ where
             break;
         }
         let Some((idx, _)) = best_idx else { break };
-        let Some(neighbor) = iters[idx].next() else { break };
+        let Some(neighbor) = iters[idx].next() else {
+            break;
+        };
         let tr: TrajectoryId = neighbor.data.trajectory;
         if seen[tr.index()] {
             continue;
@@ -291,11 +308,17 @@ mod tests {
     use atsq_types::{ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint};
 
     fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn dataset() -> Dataset {

@@ -16,10 +16,34 @@ fn bench(c: &mut Criterion) {
     let queries = workload(&dataset, &setting, 3, 0xab);
     let variants: Vec<(&str, GatConfig)> = vec![
         ("full", GatConfig::default()),
-        ("no_tas", GatConfig { use_tas: false, ..GatConfig::default() }),
-        ("loose_lb", GatConfig { tight_lower_bound: false, ..GatConfig::default() }),
-        ("lambda4", GatConfig { lambda: 4, ..GatConfig::default() }),
-        ("lambda128", GatConfig { lambda: 128, ..GatConfig::default() }),
+        (
+            "no_tas",
+            GatConfig {
+                use_tas: false,
+                ..GatConfig::default()
+            },
+        ),
+        (
+            "loose_lb",
+            GatConfig {
+                tight_lower_bound: false,
+                ..GatConfig::default()
+            },
+        ),
+        (
+            "lambda4",
+            GatConfig {
+                lambda: 4,
+                ..GatConfig::default()
+            },
+        ),
+        (
+            "lambda128",
+            GatConfig {
+                lambda: 128,
+                ..GatConfig::default()
+            },
+        ),
     ];
     for (label, cfg) in variants {
         let engine = GatEngine::build_with(&dataset, cfg).unwrap();

@@ -12,26 +12,33 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for k in [5usize, 15, 25] {
-        let setting = Setting { k, ..Setting::default() };
+        let setting = Setting {
+            k,
+            ..Setting::default()
+        };
         let queries = workload(&dataset, &setting, 3, 0x3a);
         for e in &engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("atsq/{}", e.name()), k),
                 &k,
-                |b, &k| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.atsq(&dataset, q, k));
-                    }
-                }),
+                |b, &k| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.atsq(&dataset, q, k));
+                        }
+                    })
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("oatsq/{}", e.name()), k),
                 &k,
-                |b, &k| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.oatsq(&dataset, q, k));
-                    }
-                }),
+                |b, &k| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.oatsq(&dataset, q, k));
+                        }
+                    })
+                },
             );
         }
     }

@@ -12,26 +12,33 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for qp in [2usize, 4, 6] {
-        let setting = Setting { query_points: qp, ..Setting::default() };
+        let setting = Setting {
+            query_points: qp,
+            ..Setting::default()
+        };
         let queries = workload(&dataset, &setting, 3, 0x4a);
         for e in &engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("atsq/{}", e.name()), qp),
                 &qp,
-                |b, _| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.atsq(&dataset, q, setting.k));
-                    }
-                }),
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.atsq(&dataset, q, setting.k));
+                        }
+                    })
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("oatsq/{}", e.name()), qp),
                 &qp,
-                |b, _| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.oatsq(&dataset, q, setting.k));
-                    }
-                }),
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.oatsq(&dataset, q, setting.k));
+                        }
+                    })
+                },
             );
         }
     }

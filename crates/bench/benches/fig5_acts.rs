@@ -12,17 +12,22 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for acts in [1usize, 3, 5] {
-        let setting = Setting { acts_per_point: acts, ..Setting::default() };
+        let setting = Setting {
+            acts_per_point: acts,
+            ..Setting::default()
+        };
         let queries = workload(&dataset, &setting, 3, 0x5a);
         for e in &engines {
             group.bench_with_input(
                 BenchmarkId::new(format!("atsq/{}", e.name()), acts),
                 &acts,
-                |b, _| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.atsq(&dataset, q, setting.k));
-                    }
-                }),
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.atsq(&dataset, q, setting.k));
+                        }
+                    })
+                },
             );
         }
     }

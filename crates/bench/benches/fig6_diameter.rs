@@ -21,11 +21,13 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("atsq/{}", e.name()), diameter),
                 &diameter,
-                |b, _| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.atsq(&dataset, q, setting.k));
-                    }
-                }),
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.atsq(&dataset, q, setting.k));
+                        }
+                    })
+                },
             );
         }
     }

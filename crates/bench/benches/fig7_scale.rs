@@ -20,11 +20,13 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("atsq/{}", e.name()), sample.len()),
                 &frac,
-                |b, _| b.iter(|| {
-                    for q in &queries {
-                        std::hint::black_box(e.atsq(&sample, q, setting.k));
-                    }
-                }),
+                |b, _| {
+                    b.iter(|| {
+                        for q in &queries {
+                            std::hint::black_box(e.atsq(&sample, q, setting.k));
+                        }
+                    })
+                },
             );
         }
     }

@@ -24,24 +24,20 @@ fn bench(c: &mut Criterion) {
         )
         .unwrap();
         let partitions = 1u32 << depth;
-        group.bench_with_input(
-            BenchmarkId::new("atsq/GAT", partitions),
-            &depth,
-            |b, _| b.iter(|| {
+        group.bench_with_input(BenchmarkId::new("atsq/GAT", partitions), &depth, |b, _| {
+            b.iter(|| {
                 for q in &queries {
                     std::hint::black_box(engine.atsq(&dataset, q, setting.k));
                 }
-            }),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("oatsq/GAT", partitions),
-            &depth,
-            |b, _| b.iter(|| {
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oatsq/GAT", partitions), &depth, |b, _| {
+            b.iter(|| {
                 for q in &queries {
                     std::hint::black_box(engine.oatsq(&dataset, q, setting.k));
                 }
-            }),
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -2,8 +2,8 @@
 //! the index build paths.
 
 use atsq_bench::{cities, workload, Setting};
-use atsq_core::GatEngine;
 use atsq_core::matching::{min_match_distance, order_match::min_order_match_distance};
+use atsq_core::GatEngine;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

@@ -7,13 +7,32 @@ use criterion::{criterion_group, criterion_main, Criterion};
 /// A deterministic fake tip corpus with realistic redundancy.
 fn corpus(n: usize) -> Vec<String> {
     let venues = [
-        "coffee shop", "art gallery", "ramen bar", "jazz club", "book store",
-        "taco truck", "wine bar", "climbing gym",
+        "coffee shop",
+        "art gallery",
+        "ramen bar",
+        "jazz club",
+        "book store",
+        "taco truck",
+        "wine bar",
+        "climbing gym",
     ];
-    let verbs = ["loved the", "great", "try the", "amazing", "best", "skip the"];
+    let verbs = [
+        "loved the",
+        "great",
+        "try the",
+        "amazing",
+        "best",
+        "skip the",
+    ];
     let extras = [
-        "espresso", "paintings", "noodles", "live music", "novels", "al pastor",
-        "riesling", "bouldering",
+        "espresso",
+        "paintings",
+        "noodles",
+        "live music",
+        "novels",
+        "al pastor",
+        "riesling",
+        "bouldering",
     ];
     (0..n)
         .map(|i| {
@@ -61,10 +80,8 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let extractor = ActivityExtractor::fit(
-        tips.iter().map(String::as_str),
-        &ExtractorConfig::default(),
-    );
+    let extractor =
+        ActivityExtractor::fit(tips.iter().map(String::as_str), &ExtractorConfig::default());
     c.bench_function("extractor_extract_2k", |b| {
         b.iter(|| {
             let mut total = 0usize;

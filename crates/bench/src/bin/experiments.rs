@@ -85,7 +85,15 @@ fn fig3(data: &[(String, Dataset, Vec<Engine>)], queries: usize) {
     let ks = [5usize, 10, 15, 20, 25];
     let settings: Vec<(String, Setting)> = ks
         .iter()
-        .map(|&k| (k.to_string(), Setting { k, ..Setting::default() }))
+        .map(|&k| {
+            (
+                k.to_string(),
+                Setting {
+                    k,
+                    ..Setting::default()
+                },
+            )
+        })
         .collect();
     let xs: Vec<String> = settings.iter().map(|(x, _)| x.clone()).collect();
     for (name, dataset, engines) in data {
@@ -293,7 +301,10 @@ fn reset_fetches(e: &Engine) {
 const DISK_FETCH_MS: f64 = 0.5;
 
 fn io_model(data: &[(String, Dataset, Vec<Engine>)], queries: usize) {
-    for (flavor, common) in [("venue-tag queries", false), ("common-category queries", true)] {
+    for (flavor, common) in [
+        ("venue-tag queries", false),
+        ("common-category queries", true),
+    ] {
         println!("\n### Disk-adjusted cost model — {flavor} (Table V defaults)");
         println!(
             "{:<6}{:>6}{:>12}{:>14}{:>16}  (per query; fetch = {DISK_FETCH_MS} ms)",
@@ -356,7 +367,11 @@ fn paged_io(data: &[(String, Dataset, Vec<Engine>)], queries: usize) {
             } else {
                 frames.to_string()
             };
-            let pool_frames = if frames == usize::MAX { 1 << 20 } else { frames };
+            let pool_frames = if frames == usize::MAX {
+                1 << 20
+            } else {
+                frames
+            };
             let engine = GatEngine::build_paged(
                 dataset,
                 GatConfig::default(),
@@ -410,7 +425,14 @@ fn prune_report(data: &[(String, Dataset, Vec<Engine>)], queries: usize) {
         println!("\n### Pruning power — {label} (Table V defaults, per query)");
         println!(
             "{:<6}{:>6}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}",
-            "city", "eng", "candidates", "dist evals", "TAS-pruned", "TAS-fp", "APL reads", "prune%"
+            "city",
+            "eng",
+            "candidates",
+            "dist evals",
+            "TAS-pruned",
+            "TAS-fp",
+            "APL reads",
+            "prune%"
         );
         for (name, dataset, engines) in data {
             let s = Setting::default();

@@ -33,7 +33,11 @@ pub fn parse(
             let value = argv
                 .get(i)
                 .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
-            flags.values.entry(name.to_owned()).or_default().push(value.clone());
+            flags
+                .values
+                .entry(name.to_owned())
+                .or_default()
+                .push(value.clone());
         } else {
             return Err(CliError::Usage(format!("unknown flag `--{name}`")));
         }

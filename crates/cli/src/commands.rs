@@ -1,13 +1,14 @@
-//! The five sub-commands.
+//! The sub-commands.
 
 use crate::args::parse;
 use crate::CliError;
 use atsq_core::{matching, Engine, GatEngine, QueryEngine};
 use atsq_datagen::CityConfig;
+use atsq_service::{LoadgenConfig, Server, Service, ServiceConfig};
 use atsq_types::{ActivitySet, Dataset, Point, Query, QueryPoint};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn load_dataset(path: &str) -> Result<Dataset, CliError> {
     let file = File::open(path)?;
@@ -54,7 +55,13 @@ pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 pub fn import(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let f = parse(
         argv,
-        &["csv", "min-checkins", "out", "min-activity-count", "vocab-out"],
+        &[
+            "csv",
+            "min-checkins",
+            "out",
+            "min-activity-count",
+            "vocab-out",
+        ],
         &["tips"],
     )?;
     let csv = f.require("csv")?;
@@ -135,9 +142,14 @@ fn parse_stop(spec: &str, dataset: &Dataset) -> Result<QueryPoint, CliError> {
         ids.push(id);
     }
     if ids.is_empty() {
-        return Err(CliError::Usage(format!("stop `{spec}` lists no activities")));
+        return Err(CliError::Usage(format!(
+            "stop `{spec}` lists no activities"
+        )));
     }
-    Ok(QueryPoint::new(Point::new(x, y), ActivitySet::from_ids(ids)))
+    Ok(QueryPoint::new(
+        Point::new(x, y),
+        ActivitySet::from_ids(ids),
+    ))
 }
 
 fn build_engine(dataset: &Dataset, name: &str) -> Result<Engine, CliError> {
@@ -215,8 +227,7 @@ pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             };
             if let Some(ws) = ws {
                 for (i, w) in ws.iter().enumerate() {
-                    let venues: Vec<String> =
-                        w.points.iter().map(|&p| format!("#{p}")).collect();
+                    let venues: Vec<String> = w.points.iter().map(|&p| format!("#{p}")).collect();
                     writeln!(
                         out,
                         "      stop {}: venues {} at cost {:.3} km",
@@ -237,11 +248,8 @@ pub fn bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let dataset = load_dataset(f.require("data")?)?;
     let n: usize = f.num("queries", 10)?;
     let k: usize = f.num("k", 9)?;
-    let queries = atsq_datagen::generate_queries(
-        &dataset,
-        &atsq_datagen::QueryGenConfig::default(),
-        n,
-    );
+    let queries =
+        atsq_datagen::generate_queries(&dataset, &atsq_datagen::QueryGenConfig::default(), n);
     let engines = Engine::build_all(&dataset)?;
     writeln!(out, "{:<6}{:>14}{:>14}", "engine", "ATSQ ms", "OATSQ ms")?;
     for e in &engines {
@@ -256,6 +264,111 @@ pub fn bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         let oatsq_ms = t.elapsed().as_secs_f64() * 1e3 / n as f64;
         writeln!(out, "{:<6}{:>14.2}{:>14.2}", e.name(), atsq_ms, oatsq_ms)?;
+    }
+    Ok(())
+}
+
+/// `atsq serve` — share one dataset + GAT index across a worker pool
+/// behind a newline-delimited-JSON TCP endpoint.
+pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(
+        argv,
+        &[
+            "data",
+            "addr",
+            "workers",
+            "queue",
+            "batch",
+            "batch-threads",
+            "cache",
+            "deadline-ms",
+            "duration-s",
+        ],
+        &[],
+    )?;
+    let dataset = load_dataset(f.require("data")?)?;
+    let defaults = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: f.num("workers", defaults.workers)?,
+        queue_capacity: f.num("queue", defaults.queue_capacity)?,
+        batch_size: f.num("batch", defaults.batch_size)?,
+        batch_threads: f.num("batch-threads", defaults.batch_threads)?,
+        cache_capacity: f.num("cache", defaults.cache_capacity)?,
+        default_deadline: match f.get("deadline-ms") {
+            None => None,
+            Some(_) => Some(Duration::from_millis(f.num("deadline-ms", 0u64)?)),
+        },
+    };
+    let duration_s: u64 = f.num("duration-s", 0)?;
+    let n = dataset.len();
+    let workers = config.workers;
+    let service = Service::build(dataset, config)?;
+    let server = Server::bind(service.handle(), f.get("addr").unwrap_or("127.0.0.1:7878"))
+        .map_err(CliError::Io)?;
+    writeln!(
+        out,
+        "serving {n} trajectories on {} ({workers} workers); NDJSON, one request per line",
+        server.local_addr()
+    )?;
+    if duration_s == 0 {
+        // Run until killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration_s));
+    server.stop();
+    let stats = service.stats();
+    service.shutdown();
+    writeln!(out, "{stats}")?;
+    Ok(())
+}
+
+/// `atsq loadgen` — closed-loop load generation against a running
+/// `atsq serve`, with optional response verification.
+pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(
+        argv,
+        &[
+            "data",
+            "addr",
+            "concurrency",
+            "requests",
+            "k",
+            "pool",
+            "zipf",
+            "query-points",
+            "acts-per-point",
+            "deadline-ms",
+            "seed",
+        ],
+        &["verify"],
+    )?;
+    let dataset = load_dataset(f.require("data")?)?;
+    let addr = f.require("addr")?;
+    let defaults = LoadgenConfig::default();
+    let cfg = LoadgenConfig {
+        concurrency: f.num("concurrency", defaults.concurrency)?,
+        requests: f.num("requests", defaults.requests)?,
+        k: f.num("k", defaults.k)?,
+        pool: f.num("pool", defaults.pool)?,
+        zipf_s: f.num("zipf", defaults.zipf_s)?,
+        query_points: f.num("query-points", defaults.query_points)?,
+        acts_per_point: f.num("acts-per-point", defaults.acts_per_point)?,
+        deadline_ms: f
+            .get("deadline-ms")
+            .map(|_| f.num("deadline-ms", 0u64))
+            .transpose()?,
+        verify: f.has("verify"),
+        seed: f.num("seed", defaults.seed)?,
+    };
+    let report = atsq_service::run_loadgen(addr, &dataset, &cfg).map_err(CliError::Io)?;
+    writeln!(out, "{report}")?;
+    if cfg.verify && report.incorrect > 0 {
+        return Err(CliError::Io(std::io::Error::other(format!(
+            "{} responses disagreed with the local engine",
+            report.incorrect
+        ))));
     }
     Ok(())
 }
@@ -290,9 +403,21 @@ mod tests {
 
         // Query with a real activity name from the generated dataset.
         let dataset = load_dataset(snap).unwrap();
-        let name = dataset.vocabulary().name(atsq_types::ActivityId(0)).unwrap();
+        let name = dataset
+            .vocabulary()
+            .name(atsq_types::ActivityId(0))
+            .unwrap();
         let stop = format!("10.0,10.0:{name}");
-        let q = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "3", "--witness"]);
+        let q = run_ok(&[
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "3",
+            "--witness",
+        ]);
         assert!(q.contains("result(s) [GAT]"), "{q}");
 
         let range = run_ok(&[
@@ -389,13 +514,91 @@ u2,34.10,-118.30,20,hiking with a view
         let snap = snap.to_str().unwrap();
         run_ok(&["generate", "--city", "tiny", "--out", snap]);
         let dataset = load_dataset(snap).unwrap();
-        let name = dataset.vocabulary().name(atsq_types::ActivityId(0)).unwrap();
+        let name = dataset
+            .vocabulary()
+            .name(atsq_types::ActivityId(0))
+            .unwrap();
         let stop = format!("10.0,10.0:{name}");
         let mem = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "3"]);
         let paged = run_ok(&[
-            "query", "--data", snap, "--stop", &stop, "--k", "3", "--engine", "gat-paged",
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "3",
+            "--engine",
+            "gat-paged",
         ]);
         assert_eq!(mem, paged);
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn loadgen_against_live_server_verifies() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("serve_roundtrip.atsq");
+        let snap = snap.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--seed", "9", "--out", snap]);
+
+        let dataset = load_dataset(snap).unwrap();
+        let service = Service::build(
+            dataset,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let report = run_ok(&[
+            "loadgen",
+            "--data",
+            snap,
+            "--addr",
+            &addr,
+            "--concurrency",
+            "4",
+            "--requests",
+            "60",
+            "--pool",
+            "10",
+            "--k",
+            "5",
+            "--verify",
+        ]);
+        assert!(report.contains("incorrect 0"), "{report}");
+        assert!(report.contains("qps"), "{report}");
+
+        server.stop();
+        service.shutdown();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn serve_runs_for_a_bounded_duration() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("serve_duration.atsq");
+        let snap = snap.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--out", snap]);
+        let msg = run_ok(&[
+            "serve",
+            "--data",
+            snap,
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--duration-s",
+            "1",
+        ]);
+        assert!(msg.contains("serving"), "{msg}");
+        assert!(msg.contains("qps"), "{msg}");
         std::fs::remove_file(snap).ok();
     }
 
@@ -404,7 +607,11 @@ u2,34.10,-118.30,20,hiking with a view
         let mut out = Vec::new();
         assert!(run(&sv(&[]), &mut out).is_err());
         assert!(run(&sv(&["frobnicate"]), &mut out).is_err());
-        assert!(run(&sv(&["generate", "--city", "mars", "--out", "/tmp/x"]), &mut out).is_err());
+        assert!(run(
+            &sv(&["generate", "--city", "mars", "--out", "/tmp/x"]),
+            &mut out
+        )
+        .is_err());
         assert!(run(&sv(&["query", "--data", "/nonexistent"]), &mut out).is_err());
         // help works
         run(&sv(&["help"]), &mut out).unwrap();

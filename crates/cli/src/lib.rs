@@ -60,10 +60,23 @@ USAGE:
                 [--ordered] [--range TAU] --stop \"x,y:act1;act2\"
                 [--stop ...] [--witness]
   atsq bench    --data FILE [--queries N] [--k N]
+  atsq serve    --data FILE [--addr HOST:PORT] [--workers N]
+                [--queue N] [--batch N] [--batch-threads N] [--cache N]
+                [--deadline-ms MS] [--duration-s S]
+  atsq loadgen  --data FILE --addr HOST:PORT [--concurrency N]
+                [--requests N] [--k N] [--pool N] [--zipf S]
+                [--query-points N] [--acts-per-point N] [--seed N]
+                [--deadline-ms MS] [--verify]
 
 Datasets are `atsq v1` text snapshots (see atsq-io). Activities in
 --stop are names from the dataset vocabulary. With --tips the CSV's
-fifth column is free text and activities are mined from it.";
+fifth column is free text and activities are mined from it.
+
+`serve` answers newline-delimited JSON over TCP, e.g.
+  {\"op\":\"atsq\",\"k\":5,\"stops\":[{\"x\":12.0,\"y\":7.5,\"acts\":[\"coffee\"]}]}
+(`op` also: oatsq, atsq_range/oatsq_range with `tau`, stats, ping).
+`loadgen` drives a running server closed-loop with Zipf-skewed query
+reuse; --verify checks every response against a local engine.";
 
 /// Entry point shared by `main` and tests.
 pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -77,6 +90,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "stats" => commands::stats(rest, out),
         "query" => commands::query(rest, out),
         "bench" => commands::bench(rest, out),
+        "serve" => commands::serve(rest, out),
+        "loadgen" => commands::loadgen(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())

@@ -3,16 +3,18 @@
 //! Every engine in this workspace is read-only after construction
 //! (`&self` queries; the GAT I/O counters are atomics), so a batch of
 //! queries parallelises trivially across threads. This module provides
-//! a scoped-thread executor that preserves the input order of results
-//! — useful for benchmark sweeps and for serving workloads without an
-//! async runtime.
+//! a scoped-thread executor (`std::thread::scope`, no external
+//! runtime) that preserves the input order of results — useful for
+//! benchmark sweeps and for serving workloads without an async
+//! runtime. The `atsq-service` crate builds its micro-batching on top
+//! of this.
 
 use crate::QueryEngine;
 use atsq_types::{Dataset, Query, QueryResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which of the paper's two query types to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// Order-free ATSQ (§II).
     Atsq,
@@ -43,29 +45,34 @@ pub fn run_batch<E: QueryEngine + Sync>(
         return queries.iter().map(run_one).collect();
     }
 
-    let mut results: Vec<Option<Vec<QueryResult>>> = vec![None; queries.len()];
+    let slots: Vec<std::sync::Mutex<Option<Vec<QueryResult>>>> = queries
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<Vec<QueryResult>>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
 
-    crossbeam::scope(|scope| {
+    // `std::thread::scope` joins all workers before returning and
+    // re-raises any worker panic, so every slot is filled on exit.
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(queries.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= queries.len() {
                     break;
                 }
                 let out = run_one(&queries[i]);
-                **slots[i].lock().expect("slot mutex") = Some(out);
+                *slots[i].lock().expect("slot mutex") = Some(out);
             });
         }
-    })
-    .expect("batch worker panicked");
+    });
 
-    drop(slots);
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every query slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot mutex")
+                .expect("every query slot filled")
+        })
         .collect()
 }
 

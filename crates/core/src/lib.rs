@@ -53,11 +53,11 @@ pub mod batch;
 pub mod profile;
 
 pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
-pub use profile::{EngineCounters, Profiled};
 pub use atsq_gat::{GatConfig, GatIndex, PagedAplConfig, PagedBacking};
-pub use batch::{run_batch, QueryKind};
 pub use atsq_matching as matching;
 pub use atsq_types as types;
+pub use batch::{run_batch, QueryKind};
+pub use profile::{EngineCounters, Profiled};
 
 use atsq_types::{Dataset, Query, QueryResult, Result};
 
@@ -67,8 +67,8 @@ pub mod prelude {
     pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
     pub use atsq_gat::GatConfig;
     pub use atsq_types::{
-        ActivityId, ActivitySet, Dataset, DatasetBuilder, Point, Query, QueryPoint,
-        QueryResult, Rect, Trajectory, TrajectoryId, TrajectoryPoint,
+        ActivityId, ActivitySet, Dataset, DatasetBuilder, Point, Query, QueryPoint, QueryResult,
+        Rect, Trajectory, TrajectoryId, TrajectoryPoint,
     };
 }
 

@@ -131,7 +131,10 @@ pub fn generate(config: &CityConfig) -> Result<Dataset> {
         .collect();
     let hotspot_pop = Zipf::new(config.hotspots, 0.8);
     let activity_pop = Zipf::new(config.vocabulary, config.zipf_s);
-    let category_pop = Zipf::new(config.category_pool.min(config.vocabulary).max(1), config.zipf_s);
+    let category_pop = Zipf::new(
+        config.category_pool.min(config.vocabulary).max(1),
+        config.zipf_s,
+    );
 
     // Venue pool.
     let venues: Vec<Venue> = (0..config.venues)
@@ -211,9 +214,7 @@ pub fn generate(config: &CityConfig) -> Result<Dataset> {
                 continue;
             }
             let v = &venues[pool[rng.gen_range(0..pool.len())]];
-            let acts = ActivitySet::from_ids(
-                v.activities.iter().map(|&a| ids[a as usize]),
-            );
+            let acts = ActivitySet::from_ids(v.activities.iter().map(|&a| ids[a as usize]));
             for a in acts.iter() {
                 builder.vocabulary_mut().add_count(a, 1);
             }
@@ -224,9 +225,7 @@ pub fn generate(config: &CityConfig) -> Result<Dataset> {
             // from the global pool so every trajectory is non-trivial.
             for _ in points.len()..2 {
                 let v = &venues[rng.gen_range(0..venues.len())];
-                let acts = ActivitySet::from_ids(
-                    v.activities.iter().map(|&a| ids[a as usize]),
-                );
+                let acts = ActivitySet::from_ids(v.activities.iter().map(|&a| ids[a as usize]));
                 for a in acts.iter() {
                     builder.vocabulary_mut().add_count(a, 1);
                 }

@@ -183,7 +183,10 @@ mod tests {
     fn candidate_indexes_union_dedup() {
         let t = tr(vec![(0.0, &[1, 2]), (1.0, &[2]), (2.0, &[3])]);
         let p = TrajectoryPostings::build(&t);
-        assert_eq!(p.candidate_indexes(&ActivitySet::from_raw([1, 2])), vec![0, 1]);
+        assert_eq!(
+            p.candidate_indexes(&ActivitySet::from_raw([1, 2])),
+            vec![0, 1]
+        );
         assert_eq!(
             p.candidate_indexes(&ActivitySet::from_raw([1, 2, 3])),
             vec![0, 1, 2]

@@ -101,11 +101,26 @@ mod tests {
     #[test]
     fn validate_rejects_bad_configs() {
         let bad = [
-            GatConfig { grid_level: 0, ..GatConfig::default() },
-            GatConfig { memory_level: 12, ..GatConfig::default() },
-            GatConfig { tas_intervals: 0, ..GatConfig::default() },
-            GatConfig { lambda: 0, ..GatConfig::default() },
-            GatConfig { lb_cells: 0, ..GatConfig::default() },
+            GatConfig {
+                grid_level: 0,
+                ..GatConfig::default()
+            },
+            GatConfig {
+                memory_level: 12,
+                ..GatConfig::default()
+            },
+            GatConfig {
+                tas_intervals: 0,
+                ..GatConfig::default()
+            },
+            GatConfig {
+                lambda: 0,
+                ..GatConfig::default()
+            },
+            GatConfig {
+                lb_cells: 0,
+                ..GatConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should be invalid");

@@ -104,9 +104,11 @@ impl Hicl {
     /// Whether `cell` contains activity `act` (any level 1..=d).
     pub fn cell_contains(&self, cell: CellId, act: ActivityId) -> bool {
         assert!(cell.level >= 1 && cell.level <= self.levels);
-        self.lists
-            .get(&act)
-            .is_some_and(|lv| lv[(cell.level - 1) as usize].binary_search(&cell.code).is_ok())
+        self.lists.get(&act).is_some_and(|lv| {
+            lv[(cell.level - 1) as usize]
+                .binary_search(&cell.code)
+                .is_ok()
+        })
     }
 
     /// Cells at `level` containing `act` (sorted by code); empty slice
@@ -166,7 +168,7 @@ impl Hicl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atsq_grid::{Grid, morton_encode};
+    use atsq_grid::{morton_encode, Grid};
     use atsq_types::{Point, Rect};
 
     fn leaf(level: u8, x: u32, y: u32) -> CellId {
@@ -197,10 +199,7 @@ mod tests {
                 (ActivityId(2), leaf(2, 3, 3)),
             ],
         );
-        let root_children = h.children_with_any(
-            leaf(1, 0, 0),
-            &ActivitySet::from_raw([1]),
-        );
+        let root_children = h.children_with_any(leaf(1, 0, 0), &ActivitySet::from_raw([1]));
         assert_eq!(root_children, vec![leaf(2, 0, 0)]);
         let none = h.children_with_any(leaf(1, 0, 0), &ActivitySet::from_raw([2]));
         assert!(none.is_empty());
@@ -270,10 +269,7 @@ mod tests {
             (Point::new(15.0, 15.0), ActivityId(7)),
             (Point::new(8.0, 4.0), ActivityId(9)),
         ];
-        let h = Hicl::build(
-            4,
-            pts.iter().map(|(p, a)| (*a, grid.leaf_cell_of(p))),
-        );
+        let h = Hicl::build(4, pts.iter().map(|(p, a)| (*a, grid.leaf_cell_of(p))));
         for (p, a) in &pts {
             for level in 1..=4u8 {
                 assert!(h.cell_contains(grid.cell_of(p, level), *a));

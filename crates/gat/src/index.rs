@@ -237,7 +237,8 @@ impl GatIndex {
                 self.itl.insert(cell, a, tr.id);
             }
         }
-        self.tas.push(&tr.all_activities(), self.config.tas_intervals);
+        self.tas
+            .push(&tr.all_activities(), self.config.tas_intervals);
         Ok(())
     }
 
@@ -310,9 +311,10 @@ mod tests {
             TrajectoryPoint::new(Point::new(1.0, 1.0), ActivitySet::from_ids([a0])),
             TrajectoryPoint::new(Point::new(5.0, 5.0), ActivitySet::from_ids([a1])),
         ]);
-        b.push_trajectory(vec![
-            TrajectoryPoint::new(Point::new(9.0, 9.0), ActivitySet::from_ids([a2, a0])),
-        ]);
+        b.push_trajectory(vec![TrajectoryPoint::new(
+            Point::new(9.0, 9.0),
+            ActivitySet::from_ids([a2, a0]),
+        )]);
         b.finish().unwrap()
     }
 

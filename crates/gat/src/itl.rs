@@ -28,7 +28,12 @@ impl Itl {
         let mut cells: HashMap<u64, HashMap<ActivityId, Vec<TrajectoryId>>> = HashMap::new();
         for (cell, act, tr) in occurrences {
             assert_eq!(cell.level, leaf_level, "ITL keys are leaf cells");
-            cells.entry(cell.code).or_default().entry(act).or_default().push(tr);
+            cells
+                .entry(cell.code)
+                .or_default()
+                .entry(act)
+                .or_default()
+                .push(tr);
         }
         let mut postings = 0usize;
         for acts in cells.values_mut() {

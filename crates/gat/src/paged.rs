@@ -451,7 +451,7 @@ mod tests {
     #[test]
     fn cold_hicl_roundtrips_cell_activity_sets() {
         use crate::hicl::Hicl;
-        use atsq_grid::{Grid, CellId};
+        use atsq_grid::{CellId, Grid};
         use atsq_types::{ActivityId, Rect};
 
         let grid = Grid::new(Rect::from_bounds(0.0, 0.0, 16.0, 16.0), 4);
@@ -489,7 +489,10 @@ mod tests {
             }
         }
         // Unoccupied cells answer None, not an error.
-        let empty = CellId { level: 4, code: u64::MAX >> 8 };
+        let empty = CellId {
+            level: 4,
+            code: u64::MAX >> 8,
+        };
         assert!(cold.cell_activities(empty).unwrap().is_none());
     }
 
@@ -506,9 +509,8 @@ mod tests {
     fn apl_storage_unifies_backends() {
         let trs = sample();
         let mut mem = AplStorage::Memory(crate::apl::Apl::build(trs.iter()));
-        let mut paged = AplStorage::Paged(
-            PagedApl::build(trs.iter(), &PagedAplConfig::default()).unwrap(),
-        );
+        let mut paged =
+            AplStorage::Paged(PagedApl::build(trs.iter(), &PagedAplConfig::default()).unwrap());
         assert_eq!(mem.len(), paged.len());
         assert!(mem.pool_stats().is_none());
         assert!(paged.pool_stats().is_some());

@@ -7,9 +7,7 @@ use crate::index::GatIndex;
 use atsq_grid::CellId;
 use atsq_matching::order_match::{min_order_match_distance, order_feasible};
 use atsq_matching::point_match::{dmpm_from_sorted, CandidatePoint, QueryMask};
-use atsq_types::{
-    rank_top_k, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId,
-};
+use atsq_types::{rank_top_k, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -107,11 +105,7 @@ impl<'a> Retrieval<'a> {
         while out.len() < lambda {
             let Some(entry) = self.pq.pop() else { break };
             let q = &self.query.points[entry.q_idx];
-            remove_frontier(
-                &mut self.frontier[entry.q_idx],
-                entry.mdist.0,
-                entry.cell,
-            );
+            remove_frontier(&mut self.frontier[entry.q_idx], entry.mdist.0, entry.cell);
             if entry.cell.level < leaf_level {
                 // Descend: children containing any query activity.
                 for child in self.index.children_with_any(entry.cell, &q.activities)? {
@@ -491,12 +485,7 @@ pub fn try_atsq(
 /// # Panics
 /// On a paged-APL storage failure (impossible with the in-memory
 /// backend); use [`try_atsq`] to handle that case.
-pub fn atsq(
-    index: &GatIndex,
-    dataset: &Dataset,
-    query: &Query,
-    k: usize,
-) -> Vec<QueryResult> {
+pub fn atsq(index: &GatIndex, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
     try_atsq(index, dataset, query, k).expect("APL storage failure during ATSQ")
 }
 
@@ -522,12 +511,7 @@ pub fn try_oatsq(
 ///
 /// # Panics
 /// On a paged-APL storage failure; use [`try_oatsq`] otherwise.
-pub fn oatsq(
-    index: &GatIndex,
-    dataset: &Dataset,
-    query: &Query,
-    k: usize,
-) -> Vec<QueryResult> {
+pub fn oatsq(index: &GatIndex, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
     try_oatsq(index, dataset, query, k).expect("APL storage failure during OATSQ")
 }
 
@@ -539,11 +523,17 @@ mod tests {
     use atsq_types::{ActivitySet, DatasetBuilder, Point, QueryPoint, TrajectoryPoint};
 
     fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     /// A dataset with an exactly-known ranking.

@@ -72,7 +72,11 @@ proptest! {
 /// Random micro-dataset strategy: up to 12 trajectories of up to 6
 /// points over a 20-activity vocabulary in a 10 km plane.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    let point = (0.0f64..10.0, 0.0f64..10.0, prop::collection::vec(0u32..20, 1..3));
+    let point = (
+        0.0f64..10.0,
+        0.0f64..10.0,
+        prop::collection::vec(0u32..20, 1..3),
+    );
     let traj = prop::collection::vec(point, 1..6);
     prop::collection::vec(traj, 1..12).prop_map(|trs| {
         let mut b = DatasetBuilder::new().without_frequency_ranking();
@@ -94,15 +98,17 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
 
 fn arb_query() -> impl Strategy<Value = Query> {
     prop::collection::vec(
-        (0.0f64..10.0, 0.0f64..10.0, prop::collection::vec(0u32..20, 1..3)),
+        (
+            0.0f64..10.0,
+            0.0f64..10.0,
+            prop::collection::vec(0u32..20, 1..3),
+        ),
         1..4,
     )
     .prop_map(|pts| {
         Query::new(
             pts.into_iter()
-                .map(|(x, y, acts)| {
-                    QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts))
-                })
+                .map(|(x, y, acts)| QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts)))
                 .collect(),
         )
         .expect("non-empty query points")

@@ -55,9 +55,18 @@ impl CellId {
         let level = self.level + 1;
         [
             CellId { level, code: base },
-            CellId { level, code: base + 1 },
-            CellId { level, code: base + 2 },
-            CellId { level, code: base + 3 },
+            CellId {
+                level,
+                code: base + 1,
+            },
+            CellId {
+                level,
+                code: base + 2,
+            },
+            CellId {
+                level,
+                code: base + 3,
+            },
         ]
     }
 

@@ -9,10 +9,16 @@ use atsq_types::{ActivitySet, Point, QueryPoint, TrajectoryPoint};
 
 /// Builds a trajectory point at `(x, y)` with raw activity ids.
 pub fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-    TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    TrajectoryPoint::new(
+        Point::new(x, y),
+        ActivitySet::from_raw(acts.iter().copied()),
+    )
 }
 
 /// Builds a query point at `(x, y)` with raw activity ids.
 pub fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-    QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+    QueryPoint::new(
+        Point::new(x, y),
+        ActivitySet::from_raw(acts.iter().copied()),
+    )
 }

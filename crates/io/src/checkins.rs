@@ -144,11 +144,7 @@ pub(crate) fn assemble(
         let points: Vec<TrajectoryPoint> = recs
             .iter()
             .map(|r| {
-                let acts: Vec<_> = r
-                    .tags
-                    .iter()
-                    .map(|t| builder.observe_activity(t))
-                    .collect();
+                let acts: Vec<_> = r.tags.iter().map(|t| builder.observe_activity(t)).collect();
                 TrajectoryPoint::new(
                     GeoPoint::new(r.lat, r.lon).project(&origin),
                     ActivitySet::from_ids(acts),
@@ -183,8 +179,8 @@ carol,34.00,-118.22,10,art
         let alice = &d.trajectories()[0];
         assert_eq!(alice.points.len(), 2);
         assert!(alice.points[0].loc.x < alice.points[1].loc.x); // west -> east
-        // Tags are interned and frequency-ranked: coffee (2) and food
-        // (2) outrank art (1) and hike (1).
+                                                                // Tags are interned and frequency-ranked: coffee (2) and food
+                                                                // (2) outrank art (1) and hike (1).
         let v = d.vocabulary();
         assert!(v.get("coffee").unwrap().0 <= 1);
         assert!(v.get("food").unwrap().0 <= 1);
@@ -211,9 +207,7 @@ carol,34.00,-118.22,10,art
         // A non-numeric latitude on the first line is indistinguishable
         // from a header and is skipped; from the second line on it is
         // an error.
-        assert!(
-            import_checkins("u,1.0,1.0,5,x\nalice,not_a_lat,1.0,5,x\n".as_bytes(), 1).is_err()
-        );
+        assert!(import_checkins("u,1.0,1.0,5,x\nalice,not_a_lat,1.0,5,x\n".as_bytes(), 1).is_err());
         assert!(import_checkins("alice,95.0,1.0,5,x\n".as_bytes(), 1).is_err());
         assert!(import_checkins("alice,1.0\n".as_bytes(), 1).is_err());
         assert!(import_checkins(",1.0,1.0,5,x\n".as_bytes(), 1).is_err());

@@ -209,8 +209,7 @@ mod tests {
             );
         }
         // Missing C line entirely.
-        let err = read_extractor(BufReader::new(&b"atsq-extractor v1\nV 3 tag\n"[..]))
-            .unwrap_err();
+        let err = read_extractor(BufReader::new(&b"atsq-extractor v1\nV 3 tag\n"[..])).unwrap_err();
         assert!(err.to_string().contains("missing C line"), "{err}");
     }
 

@@ -28,6 +28,6 @@ pub mod text;
 pub mod tips;
 
 pub use checkins::{import_checkins, CheckinRecord};
-pub use text::{read_dataset, write_dataset};
 pub use extractor::{read_extractor, write_extractor};
+pub use text::{read_dataset, write_dataset};
 pub use tips::{import_checkin_tips, parse_tip_row, TipRecord};

@@ -48,7 +48,10 @@ fn dying_reader_surfaces_as_error() {
             remaining: keep,
         });
         let err = read_dataset(reader).expect_err("must fail");
-        assert!(matches!(err, Error::InvalidDataset(_)), "keep={keep}: {err}");
+        assert!(
+            matches!(err, Error::InvalidDataset(_)),
+            "keep={keep}: {err}"
+        );
     }
 }
 
@@ -104,7 +107,10 @@ fn unknown_record_kind_is_rejected() {
     // The reader may call the kind letter out or reject the structure;
     // either way it must be an error, not a skip.
     let res = read_dataset(BufReader::new(text.as_bytes()));
-    assert!(res.is_err(), "unknown record kinds must not be ignored: {res:?}");
+    assert!(
+        res.is_err(),
+        "unknown record kinds must not be ignored: {res:?}"
+    );
 }
 
 #[test]

@@ -182,10 +182,7 @@ mod tests {
     fn filtered_nn_rare_activity_prunes_everything_else() {
         let mut t = build(100);
         // One venue with a unique activity far away.
-        t.insert(
-            Rect::from_point(Point::new(1000.0, 0.0)),
-            venue(999, &[42]),
-        );
+        t.insert(Rect::from_point(Point::new(1000.0, 0.0)), venue(999, &[42]));
         let wanted = ActivitySet::from_raw([42]);
         let found: Vec<u32> = t
             .nearest_with_any_activity(Point::new(0.0, 0.0), &wanted)

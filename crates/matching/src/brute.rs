@@ -48,13 +48,11 @@ pub fn brute_dmm(query: &Query, points: &[TrajectoryPoint]) -> Option<f64> {
 /// point in order, every covering subset of the still-allowed suffix of
 /// trajectory points, enforcing `max(P_i) ≤ min(P_{i+1})`.
 pub fn brute_dmom(query: &Query, points: &[TrajectoryPoint]) -> Option<f64> {
-    assert!(points.len() <= 12, "brute order oracle limited to 12 points");
-    fn recurse(
-        query: &Query,
-        points: &[TrajectoryPoint],
-        qi: usize,
-        lo: usize,
-    ) -> Option<f64> {
+    assert!(
+        points.len() <= 12,
+        "brute order oracle limited to 12 points"
+    );
+    fn recurse(query: &Query, points: &[TrajectoryPoint], qi: usize, lo: usize) -> Option<f64> {
         if qi == query.points.len() {
             return Some(0.0);
         }
@@ -98,23 +96,30 @@ mod tests {
     use atsq_types::{ActivitySet, Point, QueryPoint};
 
     fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     #[test]
     fn brute_dmpm_simple() {
-        let pts = vec![tp(1.0, 0.0, &[1]), tp(2.0, 0.0, &[2]), tp(4.0, 0.0, &[1, 2])];
+        let pts = vec![
+            tp(1.0, 0.0, &[1]),
+            tp(2.0, 0.0, &[2]),
+            tp(4.0, 0.0, &[1, 2]),
+        ];
         let q = Point::new(0.0, 0.0);
         let acts = ActivitySet::from_raw([1, 2]);
         assert_eq!(brute_dmpm(&q, &acts, &pts), Some(3.0));
-        assert_eq!(
-            brute_dmpm(&q, &ActivitySet::from_raw([9]), &pts),
-            None
-        );
+        assert_eq!(brute_dmpm(&q, &ActivitySet::from_raw([9]), &pts), None);
     }
 
     #[test]
@@ -129,8 +134,12 @@ mod tests {
         let queries = vec![
             Query::new(vec![qp(0.0, 0.0, &[1, 2])]).unwrap(),
             Query::new(vec![qp(0.0, 0.0, &[1]), qp(3.0, 3.0, &[2, 3])]).unwrap(),
-            Query::new(vec![qp(1.0, 0.0, &[3]), qp(0.0, 1.0, &[1]), qp(2.0, 2.0, &[2])])
-                .unwrap(),
+            Query::new(vec![
+                qp(1.0, 0.0, &[3]),
+                qp(0.0, 1.0, &[1]),
+                qp(2.0, 2.0, &[2]),
+            ])
+            .unwrap(),
         ];
         for query in &queries {
             assert_eq!(brute_dmm(query, &pts), min_match_distance(query, &pts));

@@ -157,11 +157,17 @@ mod tests {
     use atsq_types::{ActivitySet, Point, QueryPoint};
 
     fn tp(x: f64, y: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     /// Reconstructs the paper's Table III: the G matrix for the Fig. 1
@@ -247,11 +253,7 @@ mod tests {
     fn multi_point_match_within_window() {
         // q1 needs {1,2}, covered only by combining two points; q2
         // needs {3} strictly afterwards.
-        let tr = vec![
-            tp(1.0, 0.0, &[1]),
-            tp(2.0, 0.0, &[2]),
-            tp(3.0, 0.0, &[3]),
-        ];
+        let tr = vec![tp(1.0, 0.0, &[1]), tp(2.0, 0.0, &[2]), tp(3.0, 0.0, &[3])];
         let query = Query::new(vec![qp(0.0, 0.0, &[1, 2]), qp(3.0, 0.0, &[3])]).unwrap();
         let d = min_order_match_distance(&query, &tr, f64::INFINITY).unwrap();
         assert!((d - 3.0).abs() < 1e-12); // (1 + 2) + 0
@@ -301,11 +303,11 @@ mod tests {
         // G-row arithmetic in tests/paper_examples.rs. Here: a scaled
         // surrogate with the same structure.
         let tr = vec![
-            tp(0.0, 0.0, &[4]),      // p1 {d}
-            tp(8.0, 0.0, &[1, 3]),   // p2 {a,c}
-            tp(16.0, 0.0, &[2]),     // p3 {b}
-            tp(24.0, 0.0, &[3]),     // p4 {c}
-            tp(32.0, 0.0, &[4, 5]),  // p5 {d,e}
+            tp(0.0, 0.0, &[4]),     // p1 {d}
+            tp(8.0, 0.0, &[1, 3]),  // p2 {a,c}
+            tp(16.0, 0.0, &[2]),    // p3 {b}
+            tp(24.0, 0.0, &[3]),    // p4 {c}
+            tp(32.0, 0.0, &[4, 5]), // p5 {d,e}
         ];
         let query = Query::new(vec![
             qp(0.0, 0.0, &[1, 2]),  // q1 {a,b}

@@ -111,7 +111,11 @@ pub fn candidate_points(
             })
         })
         .collect();
-    cp.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(std::cmp::Ordering::Equal));
+    cp.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     cp
 }
 
@@ -255,13 +259,13 @@ mod tests {
     fn paper_table_ii() {
         let qm = qmask(&[0, 1, 2, 3]); // a=bit0, b=bit1, c=bit2, d=bit3
         let points = vec![
-            cp(10.0, 0b0001),  // p1 {a}
-            cp(11.0, 0b0110),  // p2 {b,c}
-            cp(13.0, 0b0011),  // p3 {a,b}
-            cp(15.0, 0b1000),  // p4 {d}
-            cp(17.0, 0b1100),  // p5 {c,d}
-            cp(26.0, 0b0111),  // p6 {a,b,c}
-            cp(31.0, 0b1111),  // p7 {a,b,c,d}
+            cp(10.0, 0b0001), // p1 {a}
+            cp(11.0, 0b0110), // p2 {b,c}
+            cp(13.0, 0b0011), // p3 {a,b}
+            cp(15.0, 0b1000), // p4 {d}
+            cp(17.0, 0b1100), // p5 {c,d}
+            cp(26.0, 0b0111), // p6 {a,b,c}
+            cp(31.0, 0b1111), // p7 {a,b,c,d}
         ];
         // Intermediate checks following the table rows.
         let mut t = IncrementalCover::new(&qm);

@@ -212,8 +212,7 @@ pub fn min_order_match_witness(
             .filter(|&p| masks[p - 1] != 0)
             .map(|p| (p as u32 - 1, dists[p - 1], masks[p - 1]))
             .collect();
-        let w = dmpm_witness_over(qm, &candidates)
-            .expect("window realised a finite DP value");
+        let w = dmpm_witness_over(qm, &candidates).expect("window realised a finite DP value");
         witnesses[i - 1] = w;
         j = k;
     }
@@ -228,11 +227,17 @@ mod tests {
     use atsq_types::{ActivitySet, Point, QueryPoint};
 
     fn tp(x: f64, acts: &[u32]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, 0.0), ActivitySet::from_raw(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, 0.0),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     fn qp(x: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, 0.0), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, 0.0),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     #[test]
@@ -254,12 +259,9 @@ mod tests {
     #[test]
     fn witness_prefers_single_covering_point_when_cheaper() {
         let pts = vec![tp(4.0, &[1]), tp(4.0, &[2]), tp(3.0, &[1, 2])];
-        let w = min_point_match_witness(
-            &Point::new(0.0, 0.0),
-            &ActivitySet::from_raw([1, 2]),
-            &pts,
-        )
-        .unwrap();
+        let w =
+            min_point_match_witness(&Point::new(0.0, 0.0), &ActivitySet::from_raw([1, 2]), &pts)
+                .unwrap();
         assert_eq!(w.points, vec![2]);
         assert_eq!(w.distance, 3.0);
     }
@@ -277,11 +279,7 @@ mod tests {
 
     #[test]
     fn order_witness_respects_order_and_distance() {
-        let pts = vec![
-            tp(0.0, &[2]),
-            tp(9.0, &[1]),
-            tp(10.0, &[2]),
-        ];
+        let pts = vec![tp(0.0, &[2]), tp(9.0, &[1]), tp(10.0, &[2])];
         let query = Query::new(vec![qp(8.0, &[1]), qp(0.5, &[2])]).unwrap();
         let ws = min_order_match_witness(&query, &pts).unwrap();
         let total: f64 = ws.iter().map(|w| w.distance).sum();

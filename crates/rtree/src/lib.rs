@@ -266,7 +266,10 @@ impl<T, S: NodeSummary<T>> RTree<T, S> {
 
     /// The `k` nearest items to `q`, ascending by distance.
     pub fn nearest_k(&self, q: Point, k: usize) -> Vec<(f64, &T)> {
-        self.nearest_iter(q).take(k).map(|n| (n.dist, n.data)).collect()
+        self.nearest_iter(q)
+            .take(k)
+            .map(|n| (n.dist, n.data))
+            .collect()
     }
 
     /// Collects references to every item whose rectangle intersects
@@ -334,7 +337,9 @@ mod tests {
         let t: RTree<u32> = RTree::new();
         assert!(t.is_empty());
         assert!(t.mbr().is_empty());
-        assert!(t.search_rect(&Rect::from_bounds(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t
+            .search_rect(&Rect::from_bounds(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(t.nearest_iter(Point::new(0.0, 0.0)).next().is_none());
         t.check_invariants().unwrap();
     }

@@ -124,8 +124,7 @@ impl<'a, T, S: NodeSummary<T>> Iterator for NearestIter<'a, T, S> {
                     }
                     Node::Internal { children, .. } => {
                         for c in children {
-                            let keep =
-                                self.filter.as_ref().is_none_or(|f| f(c.summary()));
+                            let keep = self.filter.as_ref().is_none_or(|f| f(c.summary()));
                             if keep {
                                 self.heap.push(Prioritized {
                                     dist: c.mbr().min_dist(&self.query),

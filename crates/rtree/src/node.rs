@@ -143,8 +143,7 @@ impl<T, S: NodeSummary<T>> Node<T, S> {
                 entries.push(entry);
                 if entries.len() > MAX_ENTRIES {
                     let spilled = std::mem::take(entries);
-                    let (left, right) =
-                        split_entries(spilled, |e| e.rect, MIN_ENTRIES);
+                    let (left, right) = split_entries(spilled, |e| e.rect, MIN_ENTRIES);
                     let mut sibling = Node::new_leaf();
                     *mbr = Rect::empty();
                     *summary = S::default();
@@ -186,8 +185,7 @@ impl<T, S: NodeSummary<T>> Node<T, S> {
                     children.push(new_child);
                     if children.len() > MAX_ENTRIES {
                         let spilled = std::mem::take(children);
-                        let (left, right) =
-                            split_entries(spilled, |n| n.mbr(), MIN_ENTRIES);
+                        let (left, right) = split_entries(spilled, |n| n.mbr(), MIN_ENTRIES);
                         let mut sibling = Node::new_internal();
                         *mbr = Rect::empty();
                         *summary = S::default();
@@ -372,9 +370,7 @@ impl<T, S: NodeSummary<T>> Node<T, S> {
                     let d = c.check(count, false)?;
                     match depth {
                         None => depth = Some(d),
-                        Some(prev) if prev != d => {
-                            return Err("unbalanced subtree depths".into())
-                        }
+                        Some(prev) if prev != d => return Err("unbalanced subtree depths".into()),
                         _ => {}
                     }
                 }

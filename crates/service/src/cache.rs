@@ -1,0 +1,231 @@
+//! A fixed-capacity LRU map for query results.
+//!
+//! Classic O(1) design: a `HashMap` from key to slot index, plus an
+//! intrusive doubly-linked recency list threaded through a slab of
+//! entries. No external crates, no unsafe.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with a fixed entry capacity.
+///
+/// `get` refreshes recency; `insert` evicts the coldest entry when
+/// full. A capacity of zero disables the cache (every insert is
+/// dropped, every get misses).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &slot = self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts or refreshes `key`, evicting the least recently used
+    /// entry if the cache is full. Returns the evicted value, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.capacity == 0 {
+            return Some(value);
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.slab[slot].value, value);
+            self.detach(slot);
+            self.attach_front(slot);
+            return Some(old);
+        }
+        if self.map.len() == self.capacity {
+            // Reuse the coldest slot.
+            let slot = self.tail;
+            self.detach(slot);
+            let entry = &mut self.slab[slot];
+            self.map.remove(&entry.key);
+            entry.key = key.clone();
+            let old = std::mem::replace(&mut entry.value, value);
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            Some(old)
+        } else {
+            let slot = self.slab.len();
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            None
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].next = self.head;
+        self.slab[slot].prev = NIL;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a; b is now coldest
+        c.insert("c", 3); // evicts b
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_replaces() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), Some(1)); // refresh a; b coldest
+        c.insert("c", 3); // evicts b
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert("a", 1), Some(1));
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn single_slot_cycles() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i);
+            assert_eq!(c.get(&i), Some(&i));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+            assert_eq!(c.len(), 1);
+        }
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stress_against_model() {
+        // Compare with a naive model under a deterministic workload.
+        let cap = 8;
+        let mut c = LruCache::new(cap);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // front = MRU
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 24;
+            if x & 1 == 0 {
+                // insert
+                model.retain(|&(k, _)| k != key);
+                model.insert(0, (key, key * 3));
+                model.truncate(cap);
+                c.insert(key, key * 3);
+            } else {
+                // get
+                let want = model.iter().position(|&(k, _)| k == key);
+                let got = c.get(&key).copied();
+                match want {
+                    Some(pos) => {
+                        assert_eq!(got, Some(key * 3));
+                        let e = model.remove(pos);
+                        model.insert(0, e);
+                    }
+                    None => assert_eq!(got, None),
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

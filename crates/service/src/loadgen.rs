@@ -1,0 +1,360 @@
+//! Closed-loop load generator for the TCP front-end.
+//!
+//! `concurrency` client threads each hold one connection and keep one
+//! request in flight (closed loop), drawing queries from a fixed pool
+//! with **Zipf-skewed reuse** — the skew models real traffic where
+//! popular queries repeat, which is what exercises the result cache.
+//! With `verify` on, every response is checked against direct
+//! [`GatEngine`](atsq_core::GatEngine) answers computed locally.
+
+use crate::wire::{decode_server_reply, encode_request, ServerReply};
+use crate::Request;
+use atsq_core::{GatEngine, QueryEngine};
+use atsq_datagen::{generate_queries, QueryGenConfig, Zipf};
+use atsq_types::{Dataset, Query, QueryResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Workload parameters for [`run_loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections (closed loop each).
+    pub concurrency: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Top-k per request.
+    pub k: usize,
+    /// Distinct queries in the pool.
+    pub pool: usize,
+    /// Zipf exponent of query reuse (0 = uniform, 1 ≈ web traffic).
+    pub zipf_s: f64,
+    /// Stops per query.
+    pub query_points: usize,
+    /// Activities per stop.
+    pub acts_per_point: usize,
+    /// Optional per-request deadline sent to the server.
+    pub deadline_ms: Option<u64>,
+    /// Check every response against a locally built engine.
+    pub verify: bool,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            concurrency: 8,
+            requests: 1000,
+            k: 9,
+            pool: 100,
+            zipf_s: 1.0,
+            query_points: 3,
+            acts_per_point: 2,
+            deadline_ms: None,
+            verify: false,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `ok` responses served from the server's cache.
+    pub cached: u64,
+    /// `expired` responses (deadline passed while queued).
+    pub expired: u64,
+    /// `rejected` responses (queue overflow).
+    pub rejected: u64,
+    /// Protocol/transport errors.
+    pub errors: u64,
+    /// Responses that disagreed with the local engine (verify mode).
+    pub incorrect: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Completed (`ok`) requests per wall-clock second.
+    pub qps: f64,
+    /// Client-observed median latency.
+    pub p50_ms: f64,
+    /// Client-observed 99th-percentile latency.
+    pub p99_ms: f64,
+    /// The server's own cache hit rate, read via the `stats` op.
+    pub server_cache_hit_rate: Option<f64>,
+}
+
+impl std::fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sent {}  ok {} ({} cached)  expired {}  rejected {}  errors {}  incorrect {}",
+            self.sent,
+            self.ok,
+            self.cached,
+            self.expired,
+            self.rejected,
+            self.errors,
+            self.incorrect
+        )?;
+        write!(
+            f,
+            "wall {:.2}s  qps {:.1}  p50 {:.2} ms  p99 {:.2} ms",
+            self.wall.as_secs_f64(),
+            self.qps,
+            self.p50_ms,
+            self.p99_ms
+        )?;
+        if let Some(rate) = self.server_cache_hit_rate {
+            write!(f, "  server cache hit rate {:.1}%", rate * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+struct ThreadTally {
+    report: LoadgenReport,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs the closed-loop workload against `addr`. The dataset must be
+/// the one the server is serving — it seeds the query pool and, with
+/// `verify`, the local reference engine.
+pub fn run_loadgen(
+    addr: &str,
+    dataset: &Dataset,
+    cfg: &LoadgenConfig,
+) -> std::io::Result<LoadgenReport> {
+    assert!(cfg.concurrency >= 1 && cfg.requests >= 1 && cfg.pool >= 1);
+    let pool: Vec<Query> = generate_queries(
+        dataset,
+        &QueryGenConfig {
+            query_points: cfg.query_points,
+            acts_per_point: cfg.acts_per_point,
+            diameter_km: None,
+            common_acts_only: false,
+            seed: cfg.seed,
+        },
+        cfg.pool,
+    );
+    // Reference answers for verification, computed once per pool entry.
+    let expected: Option<Vec<Vec<QueryResult>>> = if cfg.verify {
+        let engine = GatEngine::build(dataset).expect("reference engine build");
+        Some(
+            pool.iter()
+                .map(|q| engine.atsq(dataset, q, cfg.k))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let zipf = Zipf::new(cfg.pool, cfg.zipf_s);
+
+    let issued = AtomicUsize::new(0);
+    let failures: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let t0 = Instant::now();
+    let tallies: Vec<ThreadTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency)
+            .map(|tid| {
+                let pool = &pool;
+                let expected = &expected;
+                let zipf = &zipf;
+                let issued = &issued;
+                let failures = &failures;
+                scope.spawn(move || {
+                    match client_loop(addr, cfg, tid as u64, pool, expected, zipf, issued) {
+                        Ok(tally) => tally,
+                        Err(e) => {
+                            *failures.lock().expect("failure lock") = Some(e);
+                            ThreadTally {
+                                report: LoadgenReport::default(),
+                                latencies_ms: Vec::new(),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    if let Some(e) = failures.lock().expect("failure lock").take() {
+        return Err(e);
+    }
+    let wall = t0.elapsed();
+
+    let mut report = LoadgenReport::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    for t in tallies {
+        report.sent += t.report.sent;
+        report.ok += t.report.ok;
+        report.cached += t.report.cached;
+        report.expired += t.report.expired;
+        report.rejected += t.report.rejected;
+        report.errors += t.report.errors;
+        report.incorrect += t.report.incorrect;
+        latencies.extend(t.latencies_ms);
+    }
+    report.wall = wall;
+    report.qps = report.ok as f64 / wall.as_secs_f64().max(1e-9);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report.p50_ms = percentile(&latencies, 0.50);
+    report.p99_ms = percentile(&latencies, 0.99);
+    report.server_cache_hit_rate = fetch_server_hit_rate(addr).ok();
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)] // internal helper of run_loadgen
+fn client_loop(
+    addr: &str,
+    cfg: &LoadgenConfig,
+    tid: u64,
+    pool: &[Query],
+    expected: &Option<Vec<Vec<QueryResult>>>,
+    zipf: &Zipf,
+    issued: &AtomicUsize,
+) -> std::io::Result<ThreadTally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x9E37 + tid * 0x1000_0001));
+    let mut tally = ThreadTally {
+        report: LoadgenReport::default(),
+        latencies_ms: Vec::new(),
+    };
+    loop {
+        if issued.fetch_add(1, Ordering::Relaxed) >= cfg.requests {
+            break;
+        }
+        let qi = zipf.sample(&mut rng);
+        let request = Request::Atsq {
+            query: pool[qi].clone(),
+            k: cfg.k,
+        };
+        let line = encode_request(&request, cfg.deadline_ms.map(Duration::from_millis)).to_json();
+        let sent_at = Instant::now();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        tally.report.sent += 1;
+        match decode_server_reply(reply.trim()) {
+            Ok(ServerReply::Ok { results, cached }) => {
+                tally.report.ok += 1;
+                if cached {
+                    tally.report.cached += 1;
+                }
+                tally
+                    .latencies_ms
+                    .push(sent_at.elapsed().as_secs_f64() * 1e3);
+                if let Some(expected) = expected {
+                    if !results_match(&results, &expected[qi]) {
+                        tally.report.incorrect += 1;
+                    }
+                }
+            }
+            Ok(ServerReply::Expired) => tally.report.expired += 1,
+            Ok(ServerReply::Rejected(_)) => tally.report.rejected += 1,
+            Ok(ServerReply::Error(_)) | Err(_) => tally.report.errors += 1,
+        }
+    }
+    Ok(tally)
+}
+
+fn results_match(got: &[QueryResult], want: &[QueryResult]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(g, w)| g.trajectory == w.trajectory && (g.distance - w.distance).abs() < 1e-9)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fetch_server_hit_rate(addr: &str) -> std::io::Result<f64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    stream.write_all(b"{\"op\":\"stats\"}\n")?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    crate::json::parse(reply.trim())
+        .ok()
+        .and_then(|v| v.get("cache_hit_rate").and_then(crate::json::Value::as_f64))
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad stats reply"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::service::{Service, ServiceConfig};
+    use atsq_datagen::{generate, CityConfig};
+
+    /// The acceptance-criteria scenario in miniature: loadgen at
+    /// concurrency 8 against a generated city, all responses verified
+    /// against the direct engine, zero incorrect.
+    #[test]
+    fn closed_loop_run_is_correct_and_hits_cache() {
+        let dataset = generate(&CityConfig::tiny(42)).unwrap();
+        let service = Service::build(
+            dataset.clone(),
+            ServiceConfig {
+                workers: 4,
+                batch_size: 8,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let report = run_loadgen(
+            &addr,
+            &dataset,
+            &LoadgenConfig {
+                concurrency: 8,
+                requests: 300,
+                pool: 20,
+                k: 5,
+                verify: true,
+                ..LoadgenConfig::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(report.sent, 300);
+        assert_eq!(report.ok, 300);
+        assert_eq!(report.incorrect, 0, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        // 300 Zipf-skewed draws over 20 queries must repeat.
+        assert!(report.cached > 0, "{report}");
+        assert!(report.qps > 0.0);
+        assert!(report.p50_ms <= report.p99_ms);
+        assert!(report.server_cache_hit_rate.unwrap() > 0.0, "{report}");
+
+        server.stop();
+        service.shutdown();
+    }
+}

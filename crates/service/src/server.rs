@@ -1,0 +1,256 @@
+//! Newline-delimited-JSON TCP front-end for a [`ServiceHandle`].
+//!
+//! One thread accepts connections; each connection gets a reader
+//! thread that decodes request lines ([`crate::wire`]), submits them
+//! to the service, and writes one response line per request, in
+//! order. The closed loop per connection means a client's concurrency
+//! equals its connection count — which is exactly how the matching
+//! [`crate::loadgen`] drives it.
+
+use crate::service::ServiceHandle;
+use crate::wire;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A running TCP server wrapping a service.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `handle`.
+    pub fn bind(handle: ServiceHandle, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = thread::Builder::new()
+            .name("atsq-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // One-line request/response turns: Nagle plus
+                    // delayed ACKs would add ~40 ms per turn.
+                    let _ = stream.set_nodelay(true);
+                    let handle = handle.clone();
+                    // Connection threads are detached; they exit when
+                    // the peer closes its half of the connection.
+                    let _ = thread::Builder::new()
+                        .name("atsq-conn".into())
+                        .spawn(move || serve_connection(stream, &handle));
+                }
+            })?;
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Established connections finish on their own.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A
+        // wildcard bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so aim at loopback in that case.
+        let mut target = self.local_addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect(target);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Hard cap on one request line. Admission control only engages after
+/// a full line is decoded, so the line reader itself must bound memory
+/// or a newline-less client could grow the buffer without limit.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+fn serve_connection(stream: TcpStream, handle: &ServiceHandle) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(peer);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match std::io::Read::take(&mut reader, MAX_LINE_BYTES).read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Err(_) => break,
+            Ok(_) => {}
+        }
+        if buf.last() != Some(&b'\n') && buf.len() as u64 >= MAX_LINE_BYTES {
+            // Over-long line: answer once, then drop the connection —
+            // the rest of the stream is the same unframed request.
+            let reply = wire::encode_error("request line exceeds 1 MiB").to_json();
+            let _ = writer.write_all(reply.as_bytes());
+            let _ = writer.write_all(b"\n");
+            let _ = writer.flush();
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            let reply = wire::encode_error("request line is not UTF-8").to_json();
+            if writer
+                .write_all(reply.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = respond(line.trim_end_matches(['\n', '\r']), handle);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn respond(line: &str, handle: &ServiceHandle) -> String {
+    let message = match wire::decode_client_line(line, handle.dataset()) {
+        Ok(m) => m,
+        Err(e) => return wire::encode_error(&e.to_string()).to_json(),
+    };
+    match message {
+        wire::ClientMessage::Ping => crate::json::obj(vec![
+            ("status", crate::json::Value::Str("ok".into())),
+            ("pong", crate::json::Value::Bool(true)),
+        ])
+        .to_json(),
+        wire::ClientMessage::Stats => wire::encode_stats(&handle.stats()).to_json(),
+        wire::ClientMessage::Query(request, deadline) => {
+            let submitted = match deadline {
+                Some(d) => handle.submit_with_deadline(request, Some(d)),
+                None => handle.submit(request),
+            };
+            match submitted {
+                Err(e) => wire::encode_submit_error(&e).to_json(),
+                Ok(ticket) => match ticket.wait() {
+                    Some(response) => wire::encode_response(&response).to_json(),
+                    None => wire::encode_error("service stopped").to_json(),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use crate::service::{Service, ServiceConfig};
+    use crate::wire::{decode_server_reply, encode_request, ServerReply};
+    use atsq_core::QueryEngine;
+    use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+    fn lines(stream: &TcpStream) -> BufReader<TcpStream> {
+        BufReader::new(stream.try_clone().unwrap())
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_direct_engine() {
+        let dataset = generate(&CityConfig::tiny(19)).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 4);
+        let service = Service::build(
+            dataset,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = service.handle();
+        let server = Server::bind(handle.clone(), "127.0.0.1:0").unwrap();
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = lines(&stream);
+        for q in &queries {
+            let request = Request::Atsq {
+                query: q.clone(),
+                k: 5,
+            };
+            let line = encode_request(&request, None).to_json();
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            match decode_server_reply(&reply).unwrap() {
+                ServerReply::Ok { results, .. } => {
+                    let direct = handle.engine().atsq(handle.dataset(), q, 5);
+                    assert_eq!(results.len(), direct.len());
+                    for (got, want) in results.iter().zip(&direct) {
+                        assert_eq!(got.trajectory, want.trajectory);
+                        assert!((got.distance - want.distance).abs() < 1e-9);
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        // Stats over the wire.
+        stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let stats = crate::json::parse(reply.trim()).unwrap();
+        assert_eq!(
+            stats
+                .get("completed")
+                .and_then(crate::json::Value::as_usize),
+            Some(queries.len())
+        );
+
+        // Garbage gets an error response, not a dropped connection.
+        stream.write_all(b"garbage\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(matches!(
+            decode_server_reply(&reply).unwrap(),
+            ServerReply::Error(_)
+        ));
+
+        drop(stream);
+        server.stop();
+        service.shutdown();
+    }
+}

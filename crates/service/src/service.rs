@@ -1,0 +1,686 @@
+//! The [`Service`]: shared index, worker pool, cache and admission.
+
+use crate::cache::LruCache;
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{CacheKey, Request, Response};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use atsq_core::{run_batch, GatEngine, Profiled, QueryEngine, QueryKind};
+use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads consuming the request queue. Zero is allowed
+    /// (useful in tests: requests queue up but nothing executes).
+    pub workers: usize,
+    /// Bound on queued requests; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains in one batch.
+    pub batch_size: usize,
+    /// Threads a worker may use to execute one batch's same-shaped
+    /// top-k group through [`atsq_core::run_batch`]. Helps bursty
+    /// queues (one worker holding a deep batch while others idle);
+    /// values above 1 oversubscribe when every worker is busy.
+    pub batch_threads: usize,
+    /// LRU result-cache entries; zero disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests submitted without one. `None`
+    /// means such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_capacity: 1024,
+            batch_size: 16,
+            batch_threads: 2,
+            cache_capacity: 4096,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load and retry later.
+    QueueFull,
+    /// The service is shutting down.
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::Stopped => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Job {
+    request: Request,
+    key: CacheKey,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    dataset: Arc<Dataset>,
+    engine: Arc<GatEngine>,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<LruCache<CacheKey, Arc<Vec<QueryResult>>>>,
+    stats: ServiceStats,
+    config: ServiceConfig,
+}
+
+/// A running query service: worker pool + queue + cache around one
+/// immutable dataset/index pair. Created with [`Service::start`] or
+/// [`Service::build`]; submit work through [`Service::handle`].
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Builds the GAT index for `dataset` and starts the service.
+    pub fn build(dataset: Dataset, config: ServiceConfig) -> LibResult<Self> {
+        let engine = GatEngine::build(&dataset)?;
+        Ok(Self::start(Arc::new(dataset), Arc::new(engine), config))
+    }
+
+    /// Starts the worker pool over an existing dataset and engine.
+    pub fn start(dataset: Arc<Dataset>, engine: Arc<GatEngine>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            dataset,
+            engine,
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: ServiceStats::default(),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("atsq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// A cheaply cloneable submission handle.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.handle().stats()
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers.
+    pub fn shutdown(mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Clonable submission handle to a [`Service`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+/// A pending response, redeemable exactly once.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives. `None` only if the service
+    /// was torn down without draining (workers panicked).
+    pub fn wait(self) -> Option<Response> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits up to `timeout` for the response, consuming the ticket
+    /// either way.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a request with the config's default deadline. Returns a
+    /// [`Ticket`] immediately; admission control may refuse with
+    /// [`SubmitError::QueueFull`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(request, self.shared.config.default_deadline)
+    }
+
+    /// Submits a request that expires `deadline` after submission
+    /// (`None` = never).
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            key: request.cache_key(),
+            request,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.stats.record_submitted();
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.stats.record_rejected();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::Stopped),
+        }
+    }
+
+    /// Submits and blocks for the response.
+    pub fn call(&self, request: Request) -> Result<Response, SubmitError> {
+        self.submit(request)?.wait().ok_or(SubmitError::Stopped)
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared
+            .stats
+            .snapshot(self.shared.queue.len(), self.shared.engine.counters())
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.shared.dataset
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<GatEngine> {
+        &self.shared.engine
+    }
+}
+
+/// Requests per (kind, k) group that make a `run_batch` worthwhile.
+/// Below this the per-call plumbing outweighs the shared setup.
+const MIN_GROUP: usize = 2;
+
+fn worker_loop(shared: &Shared) {
+    while let Some(jobs) = shared.queue.pop_batch(shared.config.batch_size) {
+        shared.stats.record_batch(jobs.len());
+        process_batch(shared, jobs);
+    }
+}
+
+fn process_batch(shared: &Shared, jobs: Vec<Job>) {
+    // Admission at execution time: expire stale requests, serve cache
+    // hits, and collect the remainder for the engine.
+    let mut runnable: Vec<Job> = Vec::with_capacity(jobs.len());
+    {
+        let now = Instant::now();
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for job in jobs {
+            if job.deadline.is_some_and(|d| d < now) {
+                shared.stats.record_expired();
+                let _ = job.reply.send(Response::Expired);
+                continue;
+            }
+            if let Some(hit) = cache.get(&job.key) {
+                shared.stats.record_cache_hit();
+                shared.stats.record_completed(job.enqueued.elapsed());
+                let _ = job.reply.send(Response::Ok {
+                    results: hit.clone(),
+                    cached: true,
+                });
+                continue;
+            }
+            runnable.push(job);
+        }
+    }
+    if runnable.is_empty() {
+        return;
+    }
+
+    // Coalescing: within one batch, jobs sharing a cache key execute
+    // once; the duplicates reuse the primary's result. Zipf-skewed
+    // traffic makes same-key collisions in a batch common.
+    let mut primaries: Vec<Job> = Vec::with_capacity(runnable.len());
+    let mut duplicates: Vec<(Job, usize)> = Vec::new();
+    let mut first_with_key: HashMap<CacheKey, usize> = HashMap::new();
+    for job in runnable {
+        match first_with_key.entry(job.key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => duplicates.push((job, *e.get())),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(primaries.len());
+                primaries.push(job);
+            }
+        }
+    }
+
+    // Micro-batching: same-shaped top-k requests share one
+    // `run_batch` call; everything else runs individually.
+    let mut groups: HashMap<(QueryKind, usize), Vec<usize>> = HashMap::new();
+    for (i, job) in primaries.iter().enumerate() {
+        match &job.request {
+            Request::Atsq { k, .. } => groups.entry((QueryKind::Atsq, *k)).or_default().push(i),
+            Request::Oatsq { k, .. } => groups.entry((QueryKind::Oatsq, *k)).or_default().push(i),
+            Request::AtsqRange { .. } | Request::OatsqRange { .. } => {}
+        }
+    }
+
+    let mut outcomes: Vec<Option<Result<Arc<Vec<QueryResult>>, String>>> =
+        (0..primaries.len()).map(|_| None).collect();
+    for ((kind, k), members) in groups {
+        if members.len() < MIN_GROUP {
+            continue;
+        }
+        let queries: Vec<Query> = members
+            .iter()
+            .map(|&i| primaries[i].request.query().clone())
+            .collect();
+        let threads = members.len().min(shared.config.batch_threads.max(1));
+        match catch_execution(|| {
+            run_batch(
+                shared.engine.as_ref(),
+                &shared.dataset,
+                &queries,
+                k,
+                kind,
+                threads,
+            )
+        }) {
+            Ok(batched) => {
+                for (&i, results) in members.iter().zip(batched) {
+                    outcomes[i] = Some(Ok(Arc::new(results)));
+                }
+            }
+            Err(panic_msg) => {
+                for &i in &members {
+                    outcomes[i] = Some(Err(panic_msg.clone()));
+                }
+            }
+        }
+    }
+
+    let mut replies: Vec<Result<Arc<Vec<QueryResult>>, String>> =
+        Vec::with_capacity(primaries.len());
+    for (i, job) in primaries.into_iter().enumerate() {
+        let outcome = outcomes[i].take().unwrap_or_else(|| {
+            catch_execution(|| execute_single(shared, &job.request)).map(Arc::new)
+        });
+        match &outcome {
+            Ok(results) => {
+                shared.stats.record_cache_miss();
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(job.key, results.clone());
+                shared.stats.record_completed(job.enqueued.elapsed());
+                let _ = job.reply.send(Response::Ok {
+                    results: results.clone(),
+                    cached: false,
+                });
+            }
+            Err(panic_msg) => {
+                shared.stats.record_failed();
+                let _ = job.reply.send(Response::Failed {
+                    error: panic_msg.clone(),
+                });
+            }
+        }
+        replies.push(outcome);
+    }
+
+    for (job, primary) in duplicates {
+        match &replies[primary] {
+            Ok(results) => {
+                shared.stats.record_coalesced();
+                shared.stats.record_completed(job.enqueued.elapsed());
+                // `cached: false`: the result was computed this batch
+                // (coalesced onto the primary), not served by the LRU —
+                // keeps client-side and server-side hit rates in step.
+                let _ = job.reply.send(Response::Ok {
+                    results: results.clone(),
+                    cached: false,
+                });
+            }
+            Err(panic_msg) => {
+                shared.stats.record_failed();
+                let _ = job.reply.send(Response::Failed {
+                    error: panic_msg.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Runs engine work, converting a panic into an error string so one
+/// poisonous request cannot kill a worker thread (and, with it,
+/// silently shrink the pool).
+fn catch_execution<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query execution panicked".to_owned()
+    }
+}
+
+fn execute_single(shared: &Shared, request: &Request) -> Vec<QueryResult> {
+    let (engine, ds) = (shared.engine.as_ref(), shared.dataset.as_ref());
+    match request {
+        Request::Atsq { query, k } => engine.atsq(ds, query, *k),
+        Request::Oatsq { query, k } => engine.oatsq(ds, query, *k),
+        Request::AtsqRange { query, tau } => engine.atsq_range(ds, query, *tau),
+        Request::OatsqRange { query, tau } => engine.oatsq_range(ds, query, *tau),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
+
+    fn tiny_service(config: ServiceConfig) -> (Service, Vec<Query>) {
+        let dataset = generate(&CityConfig::tiny(11)).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 8);
+        let service = Service::build(dataset, config).unwrap();
+        (service, queries)
+    }
+
+    #[test]
+    fn answers_match_direct_engine() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 2,
+            batch_size: 4,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        for q in &queries {
+            let via_service = handle
+                .call(Request::Atsq {
+                    query: q.clone(),
+                    k: 5,
+                })
+                .unwrap();
+            let direct = handle.engine().atsq(handle.dataset(), q, 5);
+            assert_eq!(via_service.results().unwrap(), direct.as_slice());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn all_request_kinds_roundtrip() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let q = queries[0].clone();
+        let reqs = [
+            Request::Atsq {
+                query: q.clone(),
+                k: 3,
+            },
+            Request::Oatsq {
+                query: q.clone(),
+                k: 3,
+            },
+            Request::AtsqRange {
+                query: q.clone(),
+                tau: 50.0,
+            },
+            Request::OatsqRange {
+                query: q,
+                tau: 50.0,
+            },
+        ];
+        for r in reqs {
+            let resp = handle.call(r).unwrap();
+            assert!(resp.results().is_some());
+        }
+        let snap = handle.stats();
+        assert_eq!(snap.completed, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let req = Request::Atsq {
+            query: queries[0].clone(),
+            k: 5,
+        };
+        let first = handle.call(req.clone()).unwrap();
+        assert!(!first.is_cached());
+        let second = handle.call(req.clone()).unwrap();
+        assert!(second.is_cached());
+        assert_eq!(first.results(), second.results());
+        // Permuted stops of an order-insensitive query also hit.
+        let mut permuted = queries[0].clone();
+        permuted.points.reverse();
+        let third = handle
+            .call(Request::Atsq {
+                query: permuted,
+                k: 5,
+            })
+            .unwrap();
+        if queries[0].points.len() > 1 {
+            assert!(third.is_cached());
+        }
+        let snap = handle.stats();
+        assert!(snap.cache_hits >= 1, "{snap:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_overflow_rejection() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let req = |i: usize| Request::Atsq {
+            query: queries[i % queries.len()].clone(),
+            k: 3,
+        };
+        let _t1 = handle.submit(req(0)).unwrap();
+        let _t2 = handle.submit(req(1)).unwrap();
+        assert_eq!(handle.submit(req(2)).unwrap_err(), SubmitError::QueueFull);
+        let snap = handle.stats();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn preexpired_deadline_is_reported() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let resp = handle
+            .submit_with_deadline(
+                Request::Atsq {
+                    query: queries[0].clone(),
+                    k: 3,
+                },
+                Some(Duration::ZERO),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp, Response::Expired);
+        assert_eq!(handle.stats().expired, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_coalesce() {
+        // No workers: four identical submissions pile up in the queue,
+        // then one manual worker pass drains them as a single batch.
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 0,
+            batch_size: 16,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let req = Request::Atsq {
+            query: queries[0].clone(),
+            k: 5,
+        };
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| handle.submit(req.clone()).unwrap())
+            .collect();
+        service.shared.queue.close();
+        worker_loop(&service.shared);
+        let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let first = responses[0].results().unwrap();
+        for r in &responses {
+            assert_eq!(r.results().unwrap(), first);
+        }
+        let snap = handle.stats();
+        assert_eq!(snap.completed, 4);
+        assert_eq!(
+            snap.cache_misses, 1,
+            "duplicates must not re-run the engine"
+        );
+        assert_eq!(snap.coalesced, 3);
+    }
+
+    #[test]
+    fn poisonous_request_fails_without_killing_the_pool() {
+        use atsq_types::{ActivitySet, Point, QueryPoint};
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        // 21 activities at one stop exceeds the matching kernels'
+        // QueryMask cap and panics inside the engine.
+        let toxic = Query::new(vec![QueryPoint::new(
+            Point::new(0.0, 0.0),
+            ActivitySet::from_raw(0..21),
+        )])
+        .unwrap();
+        let resp = handle.call(Request::Atsq { query: toxic, k: 3 }).unwrap();
+        assert!(matches!(resp, Response::Failed { .. }), "{resp:?}");
+        assert_eq!(handle.stats().failed, 1);
+        // The single worker survived the panic and still serves.
+        let ok = handle
+            .call(Request::Atsq {
+                query: queries[0].clone(),
+                k: 3,
+            })
+            .unwrap();
+        assert!(ok.results().is_some());
+        service.shutdown();
+    }
+
+    #[test]
+    fn submitting_after_shutdown_fails() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        service.shutdown();
+        assert_eq!(
+            handle
+                .submit(Request::Atsq {
+                    query: queries[0].clone(),
+                    k: 1
+                })
+                .unwrap_err(),
+            SubmitError::Stopped
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_get_correct_answers() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 4,
+            batch_size: 8,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| handle.engine().atsq(handle.dataset(), q, 5))
+            .collect();
+        thread::scope(|scope| {
+            for t in 0..8 {
+                let handle = handle.clone();
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for rep in 0..20 {
+                        let i = (t + rep) % queries.len();
+                        let resp = handle
+                            .call(Request::Atsq {
+                                query: queries[i].clone(),
+                                k: 5,
+                            })
+                            .unwrap();
+                        assert_eq!(resp.results().unwrap(), expected[i].as_slice());
+                    }
+                });
+            }
+        });
+        let snap = handle.stats();
+        assert_eq!(snap.completed, 160);
+        assert!(snap.cache_hits > 0);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,297 @@
+//! Service-level counters and latency percentiles.
+//!
+//! All counters are lock-free atomics updated by workers and read by
+//! anyone; latency quantiles come from a fixed log-scale histogram
+//! (power-of-two microsecond buckets), so recording is wait-free and
+//! a snapshot costs one pass over 40 buckets.
+
+use atsq_core::EngineCounters;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days — plenty of headroom
+
+/// Shared mutable counters; cheap to update from any worker.
+#[derive(Debug)]
+pub struct ServiceStats {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    /// Histogram of end-to-end (enqueue → reply) latency in µs.
+    latency_us: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceStats {
+    /// One request admitted to the queue.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request refused at admission (queue full).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request whose deadline passed before execution.
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request answered from the result cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request that missed the cache and ran on the engine.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request served by coalescing onto an identical in-batch
+    /// request (no engine work, no LRU involvement).
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request whose execution panicked (reported, not fatal).
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One batch of `n` requests drained by a worker.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One request completed with the given enqueue→reply latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of every counter (individual loads
+    /// are atomic; the set is not, which is fine for monitoring).
+    pub fn snapshot(&self, queue_depth: usize, engine: EngineCounters) -> StatsSnapshot {
+        let hist: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        StatsSnapshot {
+            uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            p50_ms: percentile_ms(&hist, 0.50),
+            p90_ms: percentile_ms(&hist, 0.90),
+            p99_ms: percentile_ms(&hist, 0.99),
+            queue_depth,
+            engine,
+        }
+    }
+}
+
+/// Approximate percentile from the log-bucket histogram, reported as
+/// the geometric midpoint of the containing bucket, in milliseconds.
+fn percentile_ms(hist: &[u64], p: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((total as f64) * p).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            // Bucket i covers [2^i, 2^(i+1)) µs.
+            let lo = (1u64 << i) as f64;
+            return lo * std::f64::consts::SQRT_2 / 1e3;
+        }
+    }
+    unreachable!("target within total");
+}
+
+/// Point-in-time view of the service counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests answered (cache hits included, expirations excluded).
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests whose deadline passed while queued.
+    pub expired: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that ran on the engine.
+    pub cache_misses: u64,
+    /// Requests coalesced onto an identical in-batch request.
+    pub coalesced: u64,
+    /// Requests whose execution panicked (answered `Failed`).
+    pub failed: u64,
+    /// Batches drained by workers.
+    pub batches: u64,
+    /// Requests across all drained batches.
+    pub batched_requests: u64,
+    /// Completed requests per second of uptime.
+    pub qps: f64,
+    /// Median enqueue→reply latency (log-bucket approximation).
+    pub p50_ms: f64,
+    /// 90th-percentile latency.
+    pub p90_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Work counters of the underlying engine.
+    pub engine: EngineCounters,
+}
+
+impl StatsSnapshot {
+    /// Cache hits as a fraction of cache-eligible completions.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean requests per drained batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.1}s  submitted {}  completed {}  rejected {}  expired {}",
+            self.uptime.as_secs_f64(),
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.expired
+        )?;
+        writeln!(
+            f,
+            "qps {:.1}  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  queue {}",
+            self.qps, self.p50_ms, self.p90_ms, self.p99_ms, self.queue_depth
+        )?;
+        write!(
+            f,
+            "cache hit rate {:.1}%  coalesced {}  failed {}  mean batch {:.1}  distance evals {}",
+            self.cache_hit_rate() * 100.0,
+            self.coalesced,
+            self.failed,
+            self.mean_batch_size(),
+            self.engine.distance_evals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServiceStats::default();
+        s.record_submitted();
+        s.record_submitted();
+        s.record_rejected();
+        s.record_expired();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_batch(5);
+        s.record_completed(Duration::from_micros(800));
+        let snap = s.snapshot(3, EngineCounters::default());
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((snap.mean_batch_size() - 5.0).abs() < 1e-12);
+        assert!(snap.qps > 0.0);
+        let text = snap.to_string();
+        assert!(text.contains("cache hit rate"), "{text}");
+    }
+
+    #[test]
+    fn percentiles_track_magnitude() {
+        let s = ServiceStats::default();
+        // 90 fast requests at ~1 ms, 10 slow at ~500 ms.
+        for _ in 0..90 {
+            s.record_completed(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            s.record_completed(Duration::from_millis(500));
+        }
+        let snap = s.snapshot(0, EngineCounters::default());
+        assert!(snap.p50_ms < 4.0, "p50 {}", snap.p50_ms);
+        assert!(snap.p99_ms > 100.0, "p99 {}", snap.p99_ms);
+        assert!(snap.p50_ms <= snap.p90_ms && snap.p90_ms <= snap.p99_ms);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = ServiceStats::default();
+        let snap = s.snapshot(0, EngineCounters::default());
+        assert_eq!(snap.p50_ms, 0.0);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        assert_eq!(snap.mean_batch_size(), 0.0);
+    }
+}

@@ -1,0 +1,461 @@
+//! Wire mapping between [`Request`]/[`Response`] and the NDJSON
+//! protocol spoken by [`crate::server`].
+//!
+//! One request per line, one response line per request:
+//!
+//! ```json
+//! {"op":"atsq","k":5,"stops":[{"x":12.0,"y":7.5,"acts":["coffee"]}]}
+//! {"status":"ok","cached":false,"results":[{"trajectory":3,"distance":1.2}]}
+//! ```
+//!
+//! * `op` — `atsq` | `oatsq` (with `k`), `atsq_range` | `oatsq_range`
+//!   (with `tau`), `stats`, or `ping`.
+//! * Stops carry activities as names (`acts`, resolved against the
+//!   dataset vocabulary) and/or raw ids (`act_ids`).
+//! * `deadline_ms` (optional) — per-request deadline.
+//! * Response `status` — `ok`, `expired`, `rejected`, or `error`.
+
+use crate::json::{obj, parse, Value};
+use crate::request::{Request, Response};
+use crate::service::SubmitError;
+use crate::stats::StatsSnapshot;
+use atsq_types::{
+    ActivityId, ActivitySet, Dataset, Point, Query, QueryPoint, QueryResult, TrajectoryId,
+};
+use std::time::Duration;
+
+/// A malformed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn bad(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// One decoded client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMessage {
+    /// A query to submit, with its optional deadline.
+    Query(Request, Option<Duration>),
+    /// Stats snapshot request.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Decodes one request line against a dataset vocabulary.
+pub fn decode_client_line(line: &str, dataset: &Dataset) -> Result<ClientMessage, WireError> {
+    let value = parse(line).map_err(|e| bad(e.to_string()))?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing `op`"))?;
+    match op {
+        "stats" => return Ok(ClientMessage::Stats),
+        "ping" => return Ok(ClientMessage::Ping),
+        _ => {}
+    }
+    let query = decode_query(&value, dataset)?;
+    let deadline = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_usize().ok_or_else(|| bad("bad `deadline_ms`"))? as u64,
+        )),
+    };
+    let request = match op {
+        "atsq" | "oatsq" => {
+            let k = match value.get("k") {
+                None => 9,
+                Some(v) => v.as_usize().ok_or_else(|| bad("bad `k`"))?,
+            };
+            if op == "atsq" {
+                Request::Atsq { query, k }
+            } else {
+                Request::Oatsq { query, k }
+            }
+        }
+        "atsq_range" | "oatsq_range" => {
+            let tau = value
+                .get("tau")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| bad("range ops need a numeric `tau`"))?;
+            if op == "atsq_range" {
+                Request::AtsqRange { query, tau }
+            } else {
+                Request::OatsqRange { query, tau }
+            }
+        }
+        other => return Err(bad(format!("unknown op `{other}`"))),
+    };
+    Ok(ClientMessage::Query(request, deadline))
+}
+
+fn decode_query(value: &Value, dataset: &Dataset) -> Result<Query, WireError> {
+    let stops = value
+        .get("stops")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| bad("missing `stops` array"))?;
+    let mut points = Vec::with_capacity(stops.len());
+    for stop in stops {
+        let x = stop
+            .get("x")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| bad("stop needs numeric `x`"))?;
+        let y = stop
+            .get("y")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| bad("stop needs numeric `y`"))?;
+        let mut ids: Vec<ActivityId> = Vec::new();
+        if let Some(names) = stop.get("acts").and_then(Value::as_arr) {
+            for name in names {
+                let name = name.as_str().ok_or_else(|| bad("`acts` must be strings"))?;
+                let id = dataset
+                    .vocabulary()
+                    .get(name)
+                    .ok_or_else(|| bad(format!("unknown activity `{name}`")))?;
+                ids.push(id);
+            }
+        }
+        if let Some(raw) = stop.get("act_ids").and_then(Value::as_arr) {
+            for v in raw {
+                let id = v
+                    .as_usize()
+                    .ok_or_else(|| bad("`act_ids` must be integers"))?;
+                ids.push(ActivityId(id as u32));
+            }
+        }
+        let activities = ActivitySet::from_ids(ids);
+        // The matching kernels cap per-point activity sets (and panic
+        // beyond the cap); refuse here so it is a protocol error, not
+        // a worker panic.
+        let max = atsq_core::matching::point_match::QueryMask::MAX_ACTIVITIES;
+        if activities.len() > max {
+            return Err(bad(format!(
+                "stop requests {} activities; at most {max} supported",
+                activities.len()
+            )));
+        }
+        points.push(QueryPoint::new(Point::new(x, y), activities));
+    }
+    Query::new(points).map_err(|e| bad(e.to_string()))
+}
+
+/// Encodes a query for the client side of the protocol.
+pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Value {
+    let (op, query) = (request.op(), request.query());
+    let stops: Vec<Value> = query
+        .points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("x", Value::Num(p.loc.x)),
+                ("y", Value::Num(p.loc.y)),
+                (
+                    "act_ids",
+                    Value::Arr(
+                        p.activities
+                            .iter()
+                            .map(|a| Value::Num(a.0 as f64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let mut members = vec![("op", Value::Str(op.into())), ("stops", Value::Arr(stops))];
+    match request {
+        Request::Atsq { k, .. } | Request::Oatsq { k, .. } => {
+            members.push(("k", Value::Num(*k as f64)));
+        }
+        Request::AtsqRange { tau, .. } | Request::OatsqRange { tau, .. } => {
+            members.push(("tau", Value::Num(*tau)));
+        }
+    }
+    if let Some(d) = deadline {
+        members.push(("deadline_ms", Value::Num(d.as_millis() as f64)));
+    }
+    obj(members)
+}
+
+/// Encodes a service response.
+pub fn encode_response(response: &Response) -> Value {
+    match response {
+        Response::Ok { results, cached } => obj(vec![
+            ("status", Value::Str("ok".into())),
+            ("cached", Value::Bool(*cached)),
+            (
+                "results",
+                Value::Arr(
+                    results
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("trajectory", Value::Num(r.trajectory.0 as f64)),
+                                ("distance", Value::Num(r.distance)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Expired => obj(vec![("status", Value::Str("expired".into()))]),
+        Response::Failed { error } => obj(vec![
+            ("status", Value::Str("error".into())),
+            ("error", Value::Str(error.clone())),
+        ]),
+    }
+}
+
+/// Encodes an admission failure.
+pub fn encode_submit_error(error: &SubmitError) -> Value {
+    let status = match error {
+        SubmitError::QueueFull => "rejected",
+        SubmitError::Stopped => "error",
+    };
+    obj(vec![
+        ("status", Value::Str(status.into())),
+        ("error", Value::Str(error.to_string())),
+    ])
+}
+
+/// Encodes a protocol error.
+pub fn encode_error(message: &str) -> Value {
+    obj(vec![
+        ("status", Value::Str("error".into())),
+        ("error", Value::Str(message.into())),
+    ])
+}
+
+/// Encodes a stats snapshot.
+pub fn encode_stats(snap: &StatsSnapshot) -> Value {
+    obj(vec![
+        ("status", Value::Str("ok".into())),
+        ("uptime_s", Value::Num(snap.uptime.as_secs_f64())),
+        ("submitted", Value::Num(snap.submitted as f64)),
+        ("completed", Value::Num(snap.completed as f64)),
+        ("rejected", Value::Num(snap.rejected as f64)),
+        ("expired", Value::Num(snap.expired as f64)),
+        ("cache_hits", Value::Num(snap.cache_hits as f64)),
+        ("cache_misses", Value::Num(snap.cache_misses as f64)),
+        ("cache_hit_rate", Value::Num(snap.cache_hit_rate())),
+        ("coalesced", Value::Num(snap.coalesced as f64)),
+        ("failed", Value::Num(snap.failed as f64)),
+        ("mean_batch_size", Value::Num(snap.mean_batch_size())),
+        ("qps", Value::Num(snap.qps)),
+        ("p50_ms", Value::Num(snap.p50_ms)),
+        ("p90_ms", Value::Num(snap.p90_ms)),
+        ("p99_ms", Value::Num(snap.p99_ms)),
+        ("queue_depth", Value::Num(snap.queue_depth as f64)),
+        (
+            "distance_evals",
+            Value::Num(snap.engine.distance_evals as f64),
+        ),
+    ])
+}
+
+/// The client-side view of one response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerReply {
+    /// Results, with the server's cached flag.
+    Ok {
+        /// Ranked results.
+        results: Vec<QueryResult>,
+        /// Served from the result cache.
+        cached: bool,
+    },
+    /// Deadline expired server-side.
+    Expired,
+    /// Admission control refused the request.
+    Rejected(String),
+    /// Protocol or server error.
+    Error(String),
+}
+
+/// Decodes one server response line (client side).
+pub fn decode_server_reply(line: &str) -> Result<ServerReply, WireError> {
+    let value = parse(line).map_err(|e| bad(e.to_string()))?;
+    let status = value
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing `status`"))?;
+    match status {
+        "ok" => {
+            let results = match value.get("results") {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_arr()
+                    .ok_or_else(|| bad("`results` must be an array"))?
+                    .iter()
+                    .map(|r| {
+                        let trajectory = r
+                            .get("trajectory")
+                            .and_then(Value::as_usize)
+                            .ok_or_else(|| bad("result needs `trajectory`"))?;
+                        let distance = r
+                            .get("distance")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| bad("result needs `distance`"))?;
+                        Ok(QueryResult::new(TrajectoryId(trajectory as u32), distance))
+                    })
+                    .collect::<Result<_, WireError>>()?,
+            };
+            let cached = value
+                .get("cached")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            Ok(ServerReply::Ok { results, cached })
+        }
+        "expired" => Ok(ServerReply::Expired),
+        "rejected" => Ok(ServerReply::Rejected(
+            value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("rejected")
+                .to_owned(),
+        )),
+        "error" => Ok(ServerReply::Error(
+            value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("error")
+                .to_owned(),
+        )),
+        other => Err(bad(format!("unknown status `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_datagen::{generate, CityConfig};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        generate(&CityConfig::tiny(2)).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_wire() {
+        let ds = dataset();
+        let some_act = ds.trajectories()[0].points[0]
+            .activities
+            .iter()
+            .next()
+            .unwrap();
+        let query = Query::new(vec![QueryPoint::new(
+            Point::new(3.5, -1.25),
+            ActivitySet::from_ids([some_act]),
+        )])
+        .unwrap();
+        for request in [
+            Request::Atsq {
+                query: query.clone(),
+                k: 7,
+            },
+            Request::Oatsq {
+                query: query.clone(),
+                k: 2,
+            },
+            Request::AtsqRange {
+                query: query.clone(),
+                tau: 12.5,
+            },
+            Request::OatsqRange {
+                query: query.clone(),
+                tau: 0.5,
+            },
+        ] {
+            let line = encode_request(&request, Some(Duration::from_millis(250))).to_json();
+            match decode_client_line(&line, &ds).unwrap() {
+                ClientMessage::Query(decoded, deadline) => {
+                    assert_eq!(decoded, request);
+                    assert_eq!(deadline, Some(Duration::from_millis(250)));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn named_activities_resolve() {
+        let ds = dataset();
+        let name = ds.vocabulary().name(ActivityId(0)).unwrap().to_owned();
+        let line =
+            format!(r#"{{"op":"atsq","k":3,"stops":[{{"x":1.0,"y":2.0,"acts":["{name}"]}}]}}"#);
+        match decode_client_line(&line, &ds).unwrap() {
+            ClientMessage::Query(Request::Atsq { query, k }, None) => {
+                assert_eq!(k, 3);
+                assert!(query.points[0].activities.contains(ActivityId(0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_decode() {
+        let ds = dataset();
+        assert_eq!(
+            decode_client_line(r#"{"op":"stats"}"#, &ds).unwrap(),
+            ClientMessage::Stats
+        );
+        assert_eq!(
+            decode_client_line(r#"{"op":"ping"}"#, &ds).unwrap(),
+            ClientMessage::Ping
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        let ds = dataset();
+        for bad_line in [
+            "not json",
+            r#"{"k":3}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"atsq","stops":[]}"#,
+            r#"{"op":"atsq","stops":[{"x":1,"y":2,"acts":["no-such-activity"]}]}"#,
+            r#"{"op":"atsq_range","stops":[{"x":1,"y":2,"act_ids":[0]}]}"#,
+            r#"{"op":"atsq","k":-2,"stops":[{"x":1,"y":2,"act_ids":[0]}]}"#,
+            // 21 activities exceeds the matching kernels' cap; must be
+            // a protocol error, not a worker panic.
+            r#"{"op":"atsq","k":3,"stops":[{"x":1,"y":2,"act_ids":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]}]}"#,
+        ] {
+            assert!(decode_client_line(bad_line, &ds).is_err(), "{bad_line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = Response::Ok {
+            results: Arc::new(vec![QueryResult::new(TrajectoryId(4), 1.75)]),
+            cached: true,
+        };
+        match decode_server_reply(&encode_response(&ok).to_json()).unwrap() {
+            ServerReply::Ok { results, cached } => {
+                assert!(cached);
+                assert_eq!(results, vec![QueryResult::new(TrajectoryId(4), 1.75)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            decode_server_reply(&encode_response(&Response::Expired).to_json()).unwrap(),
+            ServerReply::Expired
+        );
+        match decode_server_reply(&encode_submit_error(&SubmitError::QueueFull).to_json()).unwrap()
+        {
+            ServerReply::Rejected(msg) => assert!(msg.contains("full")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode_server_reply(&encode_error("boom").to_json()).unwrap() {
+            ServerReply::Error(msg) => assert_eq!(msg, "boom"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

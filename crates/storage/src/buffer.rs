@@ -146,11 +146,7 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Runs `f` over the mutable payload of page `id` and marks the
     /// frame dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let frame = inner.acquire(id)?;
         inner.frames[frame].dirty = true;
@@ -321,7 +317,8 @@ mod tests {
     fn flush_all_persists_to_store() {
         let p = pool(4);
         let id = p.allocate().unwrap();
-        p.with_page_mut(id, |pl| pl[..2].copy_from_slice(b"ok")).unwrap();
+        p.with_page_mut(id, |pl| pl[..2].copy_from_slice(b"ok"))
+            .unwrap();
         p.flush_all().unwrap();
         let mut store = p.into_store().unwrap();
         let mut page = Page::new(store.page_size());

@@ -64,7 +64,11 @@ pub fn get_ascending(buf: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
     let mut prev = 0u32;
     for i in 0..n {
         let delta = get_varint(buf, pos)?;
-        let v = if i == 0 { delta } else { prev.checked_add(delta)? };
+        let v = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)?
+        };
         out.push(v);
         prev = v;
     }

@@ -102,7 +102,10 @@ mod tests {
                 },
                 "page 9 out of range (4 allocated)",
             ),
-            (StorageError::PoolExhausted, "buffer pool exhausted: all frames pinned"),
+            (
+                StorageError::PoolExhausted,
+                "buffer pool exhausted: all frames pinned",
+            ),
             (
                 StorageError::RecordNotFound {
                     page: PageId(1),

@@ -108,18 +108,18 @@ impl<S: PageStore> RecordHeap<S> {
 
     fn append_inline(&mut self, record: &[u8]) -> StorageResult<RecordId> {
         if let Some(page) = self.tail {
-            let slot = self.pool.with_page_mut(page, |payload| {
-                SlottedPage::read(payload).insert(record)
-            })?;
+            let slot = self
+                .pool
+                .with_page_mut(page, |payload| SlottedPage::read(payload).insert(record))?;
             if let Some(slot) = slot {
                 return Ok(RecordId { page, slot });
             }
         }
         // Tail missing or full: start a new slotted page.
         let page = self.pool.allocate()?;
-        let slot = self.pool.with_page_mut(page, |payload| {
-            SlottedPage::init(payload).insert(record)
-        })?;
+        let slot = self
+            .pool
+            .with_page_mut(page, |payload| SlottedPage::init(payload).insert(record))?;
         let slot = slot.ok_or_else(|| {
             StorageError::Invalid(format!(
                 "record of {} bytes does not fit a fresh page",

@@ -104,7 +104,10 @@ impl<B: AsRef<[u8]> + AsMut<[u8]>> SlottedPage<B> {
     pub fn init(mut payload: B) -> Self {
         let len = payload.as_ref().len();
         assert!(len >= HEADER + SLOT, "payload too small for slotted layout");
-        assert!(len < TOMBSTONE as usize, "payload too large for u16 offsets");
+        assert!(
+            len < TOMBSTONE as usize,
+            "payload too large for u16 offsets"
+        );
         write_u16(payload.as_mut(), 0, 0);
         write_u16(payload.as_mut(), 2, len as u16);
         SlottedPage { payload }

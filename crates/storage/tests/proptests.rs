@@ -2,9 +2,7 @@
 //! codec and buffer pool must behave like their obvious in-memory
 //! models under arbitrary workloads.
 
-use atsq_storage::{
-    codec, BufferPool, MemPageStore, Page, PageId, RecordHeap, SlottedPage,
-};
+use atsq_storage::{codec, BufferPool, MemPageStore, Page, PageId, RecordHeap, SlottedPage};
 use proptest::prelude::*;
 
 fn heap(page_size: usize, frames: usize) -> RecordHeap<MemPageStore> {

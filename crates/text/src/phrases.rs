@@ -161,7 +161,10 @@ mod tests {
             vec!["coffee_shop", "downtown"]
         );
         // Unmatched tokens pass through.
-        assert_eq!(m.apply(&toks("great coffee beans")), toks("great coffee beans"));
+        assert_eq!(
+            m.apply(&toks("great coffee beans")),
+            toks("great coffee beans")
+        );
     }
 
     #[test]

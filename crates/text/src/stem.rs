@@ -69,8 +69,7 @@ fn undouble_or_restore(base: &str) -> String {
     let chars: Vec<char> = base.chars().collect();
     let n = chars.len();
     // Doubled final consonant: drop one (stopping -> stop).
-    if n >= 2 && chars[n - 1] == chars[n - 2] && !is_vowel(chars[n - 1]) && chars[n - 1] != 'l'
-    {
+    if n >= 2 && chars[n - 1] == chars[n - 2] && !is_vowel(chars[n - 1]) && chars[n - 1] != 'l' {
         return chars[..n - 1].iter().collect();
     }
     // Consonant-vowel-consonant with a short stem: restore the silent e

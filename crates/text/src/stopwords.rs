@@ -7,20 +7,19 @@
 
 /// Compiled-in stopword list. Sorted; [`is_stopword`] binary-searches.
 pub const STOPWORDS: &[&str] = &[
-    "about", "above", "after", "again", "all", "also", "always", "am", "an", "and", "any",
-    "are", "as", "at", "awesome", "bad", "be", "because", "been", "before", "being", "below",
-    "best", "better", "between", "big", "both", "but", "by", "came", "can", "cannot", "come",
-    "could", "did", "do", "does", "doing", "down", "during", "each", "ever", "every", "few",
-    "for", "from", "further", "get", "go", "goes", "going", "good", "got", "great", "had",
-    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "if", "in",
-    "into", "is", "it", "its", "just", "like", "little", "lot", "love", "loved", "make",
-    "many", "me", "more", "most", "much", "must", "my", "never", "new", "nice", "no", "not",
-    "now", "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own",
-    "place", "pretty", "really", "same", "she", "should", "so", "some", "spot", "such",
-    "sure", "than", "that", "the", "their", "them", "then", "there", "these", "they", "this",
-    "those", "through", "time", "to", "too", "try", "under", "until", "up", "us", "very",
-    "was", "we", "well", "went", "were", "what", "when", "where", "which", "while", "who",
-    "why", "will", "with", "worst", "would", "you", "your",
+    "about", "above", "after", "again", "all", "also", "always", "am", "an", "and", "any", "are",
+    "as", "at", "awesome", "bad", "be", "because", "been", "before", "being", "below", "best",
+    "better", "between", "big", "both", "but", "by", "came", "can", "cannot", "come", "could",
+    "did", "do", "does", "doing", "down", "during", "each", "ever", "every", "few", "for", "from",
+    "further", "get", "go", "goes", "going", "good", "got", "great", "had", "has", "have",
+    "having", "he", "her", "here", "hers", "him", "his", "how", "if", "in", "into", "is", "it",
+    "its", "just", "like", "little", "lot", "love", "loved", "make", "many", "me", "more", "most",
+    "much", "must", "my", "never", "new", "nice", "no", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "out", "over", "own", "place", "pretty", "really", "same", "she",
+    "should", "so", "some", "spot", "such", "sure", "than", "that", "the", "their", "them", "then",
+    "there", "these", "they", "this", "those", "through", "time", "to", "too", "try", "under",
+    "until", "up", "us", "very", "was", "we", "well", "went", "were", "what", "when", "where",
+    "which", "while", "who", "why", "will", "with", "worst", "would", "you", "your",
 ];
 
 /// Whether `word` (already lowercased) is a stopword.

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn numbers_are_dropped_but_alphanumerics_kept() {
-        assert_eq!(tokenize("open 24 7 at pier39"), vec!["open", "at", "pier39"]);
+        assert_eq!(
+            tokenize("open 24 7 at pier39"),
+            vec!["open", "at", "pier39"]
+        );
     }
 
     #[test]

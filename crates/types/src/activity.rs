@@ -325,10 +325,7 @@ mod tests {
     fn from_ids_sorts_and_dedups() {
         let s = set(&[5, 1, 3, 1, 5]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.ids(),
-            &[ActivityId(1), ActivityId(3), ActivityId(5)]
-        );
+        assert_eq!(s.ids(), &[ActivityId(1), ActivityId(3), ActivityId(5)]);
     }
 
     #[test]

@@ -224,9 +224,8 @@ impl DatasetBuilder {
             let remap = self.vocabulary.rank_by_frequency();
             for tr in &mut self.trajectories {
                 for p in &mut tr.points {
-                    p.activities = ActivitySet::from_ids(
-                        p.activities.iter().map(|a| remap[a.index()]),
-                    );
+                    p.activities =
+                        ActivitySet::from_ids(p.activities.iter().map(|a| remap[a.index()]));
                 }
             }
         }
@@ -245,7 +244,10 @@ mod tests {
     use crate::trajectory::TrajectoryPoint;
 
     fn tp(x: f64, y: f64, acts: &[ActivityId]) -> TrajectoryPoint {
-        TrajectoryPoint::new(Point::new(x, y), ActivitySet::from_ids(acts.iter().copied()))
+        TrajectoryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_ids(acts.iter().copied()),
+        )
     }
 
     #[test]

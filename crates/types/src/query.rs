@@ -122,7 +122,10 @@ mod tests {
     use super::*;
 
     fn qp(x: f64, y: f64, acts: &[u32]) -> QueryPoint {
-        QueryPoint::new(Point::new(x, y), ActivitySet::from_raw(acts.iter().copied()))
+        QueryPoint::new(
+            Point::new(x, y),
+            ActivitySet::from_raw(acts.iter().copied()),
+        )
     }
 
     #[test]

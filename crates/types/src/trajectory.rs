@@ -161,7 +161,9 @@ mod tests {
         let t = traj();
         let q = ActivitySet::from_raw([1]);
         assert_eq!(t.points_with_any_of(&q), vec![0, 2]);
-        assert!(t.points_with_any_of(&ActivitySet::from_raw([42])).is_empty());
+        assert!(t
+            .points_with_any_of(&ActivitySet::from_raw([42]))
+            .is_empty());
     }
 
     #[test]
@@ -176,9 +178,6 @@ mod tests {
     fn path_length_sums_segments() {
         let t = traj();
         assert!((t.path_length() - (5.0 + 4.0)).abs() < 1e-12);
-        assert_eq!(
-            Trajectory::new(TrajectoryId(0), vec![]).path_length(),
-            0.0
-        );
+        assert_eq!(Trajectory::new(TrajectoryId(0), vec![]).path_length(), 0.0);
     }
 }

@@ -60,10 +60,7 @@ fn main() {
     let mut points = Vec::new();
     for (loc, text) in stops {
         let tags = extractor.extract(text);
-        let ids: Vec<_> = tags
-            .iter()
-            .filter_map(|t| vocabulary.get(t))
-            .collect();
+        let ids: Vec<_> = tags.iter().filter_map(|t| vocabulary.get(t)).collect();
         println!("stop at ({:.1}, {:.1}) asks for {tags:?}", loc.x, loc.y);
         points.push(QueryPoint::new(loc, ActivitySet::from_ids(ids)));
     }
@@ -72,10 +69,16 @@ fn main() {
     let engine = GatEngine::build(&dataset).expect("index builds");
     println!("\ntop matches (order-insensitive):");
     for r in engine.atsq(&dataset, &query, 3) {
-        println!("  trajectory {:>2}  Dmm = {:.3} km", r.trajectory.0, r.distance);
+        println!(
+            "  trajectory {:>2}  Dmm = {:.3} km",
+            r.trajectory.0, r.distance
+        );
     }
     println!("\ntop matches (order-sensitive — coffee BEFORE ramen):");
     for r in engine.oatsq(&dataset, &query, 3) {
-        println!("  trajectory {:>2}  Dmom = {:.3} km", r.trajectory.0, r.distance);
+        println!(
+            "  trajectory {:>2}  Dmom = {:.3} km",
+            r.trajectory.0, r.distance
+        );
     }
 }

@@ -24,7 +24,11 @@ fn main() {
     )
     .remove(0);
 
-    println!("Plan ({} stops, δ = {:.1} km):", query.len(), query.diameter());
+    println!(
+        "Plan ({} stops, δ = {:.1} km):",
+        query.len(),
+        query.diameter()
+    );
     for (i, p) in query.points.iter().enumerate() {
         let names: Vec<&str> = p
             .activities
@@ -39,10 +43,13 @@ fn main() {
     for r in &results {
         let tr = dataset.trajectory(r.trajectory);
         println!("\n  {}  (Dmm = {:.3} km)", r.trajectory, r.distance);
-        let witnesses =
-            min_match_witness(&query, &tr.points).expect("result must be a match");
+        let witnesses = min_match_witness(&query, &tr.points).expect("result must be a match");
         for (i, w) in witnesses.iter().enumerate() {
-            println!("    stop {} covered at cost {:.3} km by:", i + 1, w.distance);
+            println!(
+                "    stop {} covered at cost {:.3} km by:",
+                i + 1,
+                w.distance
+            );
             for &pi in &w.points {
                 let p = &tr.points[pi as usize];
                 let names: Vec<&str> = p

@@ -51,7 +51,11 @@ fn main() {
         let mut checked = 0usize;
         for q in &queries {
             let got = engine.atsq(&dataset, q, 9);
-            assert_eq!(got, mem.atsq(&dataset, q, 9), "pages must not change answers");
+            assert_eq!(
+                got,
+                mem.atsq(&dataset, q, 9),
+                "pages must not change answers"
+            );
             checked += got.len();
         }
         let s = engine

@@ -11,7 +11,10 @@ use std::time::Instant;
 fn main() {
     // A Los-Angeles-like city at 2% scale: ~630 users.
     let city = CityConfig::la_like(0.02);
-    println!("Generating {} ({} trajectories)...", city.name, city.trajectories);
+    println!(
+        "Generating {} ({} trajectories)...",
+        city.name, city.trajectories
+    );
     let dataset = generate(&city).expect("generation");
     let stats = dataset.stats();
     println!("{stats}\n");
@@ -56,10 +59,7 @@ fn main() {
 
     let t1 = Instant::now();
     let recommendations = engine.atsq(&dataset, &query, 5);
-    println!(
-        "\nTop-5 reference trajectories ({:.2?}):",
-        t1.elapsed()
-    );
+    println!("\nTop-5 reference trajectories ({:.2?}):", t1.elapsed());
     for r in &recommendations {
         let tr = dataset.trajectory(r.trajectory);
         println!(

@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Random property testing without shrinking: the [`proptest!`] macro
+//! samples each declared strategy `Config::cases` times and runs the
+//! body; `prop_assert*` failures panic with the usual assert message.
+//! The RNG seed is derived from the test name, so failures are
+//! reproducible run to run. Swapping the real `proptest` back in (it
+//! adds shrinking and persistence) requires no source changes.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop::` namespace as the real crate's prelude exposes it.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+/// What `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic runner machinery.
+pub mod runner {
+    pub use crate::test_runner::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3..10u32), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::sample(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let (a, b) = Strategy::sample(&((0..5u8), (0..5u8)), &mut rng);
+            assert!(a < 5 && b < 5);
+            let xs = Strategy::sample(&prop::collection::vec(0..3u8, 2..=4), &mut rng);
+            assert!((2..=4).contains(&xs.len()));
+            let just = Strategy::sample(&Just(42), &mut rng);
+            assert_eq!(just, 42);
+            let sel = Strategy::sample(&prop::sample::select(vec![1, 2, 3]), &mut rng);
+            assert!((1..=3).contains(&sel));
+            let n = Strategy::sample(&prop::num::f64::NORMAL, &mut rng);
+            assert!(n.is_normal());
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = crate::test_runner::TestRng::from_name("compose");
+        let s = prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..4).prop_map(Some),
+            Just(None),
+        ];
+        let mut seen_some = false;
+        let mut seen_none = false;
+        for _ in 0..200 {
+            match Strategy::sample(&s, &mut rng) {
+                Some(v) => {
+                    assert!(v.len() < 4);
+                    seen_some = true;
+                }
+                None => seen_none = true,
+            }
+        }
+        assert!(seen_some && seen_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: multiple args, patterns, trailing comma.
+        #[test]
+        fn macro_smoke(
+            x in 0..100u32,
+            (a, b) in (0..10u8, 0..10u8),
+            v in prop::collection::vec(any::<bool>(), 3),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), 3);
+            prop_assert_ne!(a as u16 + b as u16, 200);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `prop::num` — numeric class strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `f64` strategies.
+pub mod f64 {
+    use super::*;
+
+    /// Strategy for *normal* `f64`s: finite, non-zero, not subnormal,
+    /// uniform over bit patterns of that class (both signs, the full
+    /// exponent range).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Normal (finite, non-subnormal, non-zero) `f64`s.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let f = f64::from_bits(rng.next_u64());
+                if f.is_normal() {
+                    return f;
+                }
+            }
+        }
+    }
+}
+
+/// `f32` strategies.
+pub mod f32 {
+    use super::*;
+
+    /// Strategy for normal `f32`s (see [`super::f64::NORMAL`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Normal (finite, non-subnormal, non-zero) `f32`s.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            loop {
+                let f = f32::from_bits(rng.next_u64() as u32);
+                if f.is_normal() {
+                    return f;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `prop::sample` — selection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index drawn independently of any particular collection length;
+/// project it onto a collection with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps raw randomness.
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Projects onto `0..size`. Panics when `size` is zero, like the
+    /// real crate.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+/// Uniform choice of one element from a vector.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::sample::select(options)` — picks one of `options` uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty options");
+    Select { options }
+}

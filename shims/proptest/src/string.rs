@@ -1,0 +1,279 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest interprets `&str` strategies as full regexes;
+//! this shim supports the subset the workspace's tests use — literal
+//! characters, `.`, character classes like `[a-z0-9]`, groups, and
+//! the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?` — and panics on
+//! anything else so an unsupported pattern fails loudly.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let nodes = parse(self);
+        let mut out = String::new();
+        for node in &nodes {
+            node.generate(rng, &mut out);
+        }
+        out
+    }
+}
+
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    /// `.` — any scalar except newline.
+    Any,
+    /// `[a-z...]` — inclusive ranges and singletons.
+    Class(Vec<(char, char)>),
+    /// `( ... )`.
+    Group(Vec<Quantified>),
+}
+
+impl Quantified {
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        let span = (self.max - self.min + 1) as u64;
+        let n = self.min + rng.below(span) as u32;
+        for _ in 0..n {
+            self.atom.generate(rng, out);
+        }
+    }
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Any => out.push(arbitrary_char(rng)),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32 - lo as u32 + 1) as u64;
+                let c = char::from_u32(lo as u32 + rng.below(span) as u32)
+                    .expect("class range stays in scalar space");
+                out.push(c);
+            }
+            Atom::Group(nodes) => {
+                for node in nodes {
+                    node.generate(rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// `.`: mostly printable ASCII, sometimes arbitrary Unicode scalars
+/// (mirroring proptest's any-char behaviour closely enough to catch
+/// non-English edge cases).
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    loop {
+        let c = if rng.below(10) < 7 {
+            char::from_u32(0x20 + rng.below(0x5f) as u32)
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32)
+        };
+        match c {
+            Some('\n') | None => continue,
+            Some(c) => return c,
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let mut chars: std::iter::Peekable<std::str::Chars<'_>> = pattern.chars().peekable();
+    let nodes = parse_seq(&mut chars, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in pattern `{pattern}`"
+    );
+    nodes
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<Quantified> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unterminated group in pattern `{pattern}`"
+                );
+                Atom::Group(inner)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`")),
+            ),
+            '*' | '+' | '?' | '{' | '}' | ']' | '|' | '^' | '$' => {
+                panic!("unsupported pattern construct `{c}` in `{pattern}`")
+            }
+            c => Atom::Literal(c),
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern `{pattern}`"));
+        if c == ']' {
+            assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+            return ranges;
+        }
+        assert!(c != '^', "negated classes unsupported in `{pattern}`");
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated range in pattern `{pattern}`"));
+            assert!(c <= hi, "inverted range in pattern `{pattern}`");
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_MAX)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated quantifier in pattern `{pattern}`"),
+                }
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            let parse_n = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier `{{{spec}}}` in `{pattern}`"))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_n(n);
+                    (n, n)
+                }
+                [m, n] => {
+                    let (m, n) = (parse_n(m), parse_n(n));
+                    assert!(m <= n, "inverted quantifier in `{pattern}`");
+                    (m, n)
+                }
+                _ => panic!("bad quantifier `{{{spec}}}` in `{pattern}`"),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string-tests")
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = Strategy::sample("[a-z]{2,8}", &mut rng);
+            assert!((2..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_generates_varied_chars_without_newlines() {
+        let mut rng = rng();
+        let mut non_ascii = false;
+        for _ in 0..300 {
+            let s = Strategy::sample(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+            non_ascii |= !s.is_ascii();
+        }
+        assert!(non_ascii, "dot never produced unicode");
+    }
+
+    #[test]
+    fn groups_and_literals() {
+        let mut rng = rng();
+        for _ in 0..300 {
+            let s = Strategy::sample("[a-c]{2,3}( [a-c]{2,3}){0,4}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=5).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((2..=3).contains(&w.len()), "{s:?}");
+                assert!(w.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_open_quantifiers() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(Strategy::sample("x{3}", &mut rng), "xxx");
+            let star = Strategy::sample("a*b+c?", &mut rng);
+            assert!(star.contains('b'), "{star:?}");
+            let escaped = Strategy::sample(r"\.\[", &mut rng);
+            assert_eq!(escaped, ".[");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern construct")]
+    fn unsupported_constructs_fail_loudly() {
+        let _ = Strategy::sample("a|b", &mut rng());
+    }
+}

@@ -102,8 +102,10 @@ fn grid_granularity_sweep_runs() {
             },
         )
         .unwrap();
-        let answers: Vec<Vec<QueryResult>> =
-            queries.iter().map(|q| engine.atsq(&dataset, q, 9)).collect();
+        let answers: Vec<Vec<QueryResult>> = queries
+            .iter()
+            .map(|q| engine.atsq(&dataset, q, 9))
+            .collect();
         match &reference {
             None => reference = Some(answers),
             Some(r) => assert_eq!(r, &answers, "granularity {d} changed answers"),
@@ -194,7 +196,10 @@ fn simplification_preserves_query_answers() {
     let dataset = generate(&CityConfig::tiny(307)).unwrap();
     let mut b = atsq_core::prelude::DatasetBuilder::new().without_frequency_ranking();
     for i in 0..dataset.vocabulary().len() as u32 {
-        let name = dataset.vocabulary().name(atsq_core::prelude::ActivityId(i)).unwrap();
+        let name = dataset
+            .vocabulary()
+            .name(atsq_core::prelude::ActivityId(i))
+            .unwrap();
         b.observe_activity(name);
     }
     for tr in dataset.trajectories() {
@@ -219,8 +224,12 @@ fn simplification_preserves_query_answers() {
         let a = g1.atsq(&dataset, q, 5);
         let b2 = g2.atsq(&simplified, q, 5);
         assert_eq!(
-            a.iter().map(|r| (r.trajectory, (r.distance * 1e9).round() as i64)).collect::<Vec<_>>(),
-            b2.iter().map(|r| (r.trajectory, (r.distance * 1e9).round() as i64)).collect::<Vec<_>>(),
+            a.iter()
+                .map(|r| (r.trajectory, (r.distance * 1e9).round() as i64))
+                .collect::<Vec<_>>(),
+            b2.iter()
+                .map(|r| (r.trajectory, (r.distance * 1e9).round() as i64))
+                .collect::<Vec<_>>(),
             "simplification changed answers"
         );
     }

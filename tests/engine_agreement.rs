@@ -5,8 +5,8 @@
 
 use atsq_core::{Engine, QueryEngine};
 use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig};
-use atsq_matching::order_match::min_order_match_distance;
 use atsq_matching::min_match_distance;
+use atsq_matching::order_match::min_order_match_distance;
 use atsq_types::{rank_top_k, Dataset, Query, QueryResult};
 
 /// Exhaustive oracle for ATSQ.
@@ -36,7 +36,10 @@ fn scan_oatsq(dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
 fn assert_results_eq(a: &[QueryResult], b: &[QueryResult], ctx: &str) {
     assert_eq!(a.len(), b.len(), "{ctx}: length mismatch\n{a:?}\n{b:?}");
     for (x, y) in a.iter().zip(b.iter()) {
-        assert_eq!(x.trajectory, y.trajectory, "{ctx}: ranking mismatch\n{a:?}\n{b:?}");
+        assert_eq!(
+            x.trajectory, y.trajectory,
+            "{ctx}: ranking mismatch\n{a:?}\n{b:?}"
+        );
         assert!(
             (x.distance - y.distance).abs() < 1e-6,
             "{ctx}: distance mismatch {x:?} vs {y:?}"
@@ -158,11 +161,8 @@ fn range_queries_agree_with_oracle() {
             .chain(all.get(2).map(|r| r.distance + 1e-9))
             .collect();
         for tau in radii {
-            let want: Vec<QueryResult> = all
-                .iter()
-                .filter(|r| r.distance <= tau)
-                .cloned()
-                .collect();
+            let want: Vec<QueryResult> =
+                all.iter().filter(|r| r.distance <= tau).cloned().collect();
             for e in &engines {
                 let got = e.atsq_range(&dataset, q, tau);
                 assert_results_eq(&got, &want, &format!("{} atsq_range τ={tau}", e.name()));

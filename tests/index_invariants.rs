@@ -71,7 +71,11 @@ fn tas_never_dismisses_a_true_match() {
     for tr in d.trajectories() {
         let all = tr.all_activities();
         let sketch = idx.tas().sketch(tr.id.index());
-        assert!(sketch.covers(&all), "TAS dismissed {}'s own activities", tr.id);
+        assert!(
+            sketch.covers(&all),
+            "TAS dismissed {}'s own activities",
+            tr.id
+        );
         for a in all.iter() {
             assert!(sketch.contains(a));
         }
@@ -220,9 +224,10 @@ fn tight_bound_is_sound_under_tiny_frontier_budget() {
         TrajectoryPoint::new(Point::new(51.0, 50.0), ActivitySet::from_ids([a])),
         TrajectoryPoint::new(Point::new(50.0, 51.0), ActivitySet::from_ids([bct])),
     ]);
-    b.push_trajectory(vec![
-        TrajectoryPoint::new(Point::new(58.0, 50.0), ActivitySet::from_ids([a, bct])),
-    ]);
+    b.push_trajectory(vec![TrajectoryPoint::new(
+        Point::new(58.0, 50.0),
+        ActivitySet::from_ids([a, bct]),
+    )]);
     let d = b.finish().unwrap();
     let q = Query::new(vec![QueryPoint::new(
         Point::new(50.0, 50.0),

@@ -162,7 +162,10 @@ fn storage_faults_surface_as_errors_not_results() {
             Err(other) => panic!("unexpected error kind: {other:?}"),
         }
     }
-    assert!(saw_error, "no query ever faulted a page — workload too weak");
+    assert!(
+        saw_error,
+        "no query ever faulted a page — workload too weak"
+    );
 }
 
 /// A store that serves reads whose payload has been silently replaced
@@ -236,7 +239,10 @@ fn garbled_page_payload_is_detected_at_query_time() {
             Err(other) => panic!("unexpected error kind: {other:?}"),
         }
     }
-    assert!(saw_error, "no query ever touched the APL — workload too weak");
+    assert!(
+        saw_error,
+        "no query ever touched the APL — workload too weak"
+    );
 }
 
 #[test]
@@ -338,8 +344,7 @@ fn cold_hicl_absent_when_everything_is_hot() {
         memory_level: 4, // nothing cold
         ..GatConfig::default()
     };
-    let paged =
-        GatEngine::build_paged(&dataset, config, &PagedAplConfig::default()).unwrap();
+    let paged = GatEngine::build_paged(&dataset, config, &PagedAplConfig::default()).unwrap();
     assert!(paged.index().cold_hicl().is_none());
 }
 
@@ -347,8 +352,7 @@ fn cold_hicl_absent_when_everything_is_hot() {
 fn paged_cold_hicl_rejects_dynamic_inserts() {
     let dataset = generate(&CityConfig::tiny(6)).unwrap();
     let mut index =
-        GatIndex::build_paged(&dataset, GatConfig::default(), &PagedAplConfig::default())
-            .unwrap();
+        GatIndex::build_paged(&dataset, GatConfig::default(), &PagedAplConfig::default()).unwrap();
     let mut grown = dataset.clone();
     let points = grown.trajectories()[0].points.clone();
     let id = grown.append_trajectory(points).unwrap();

@@ -24,13 +24,25 @@ fn query_activities() -> [ActivitySet; 3] {
 /// Fig. 1 Tr1 point activities: p1,1 {d}, p1,2 {a,c}, p1,3 {b},
 /// p1,4 {c}, p1,5 {d,e}.
 fn tr1_activities() -> [ActivitySet; 5] {
-    [acts(&[3]), acts(&[0, 2]), acts(&[1]), acts(&[2]), acts(&[3, 4])]
+    [
+        acts(&[3]),
+        acts(&[0, 2]),
+        acts(&[1]),
+        acts(&[2]),
+        acts(&[3, 4]),
+    ]
 }
 
 /// Fig. 1 Tr2 point activities: p2,1 {a}, p2,2 {b,c}, p2,3 {c,d},
 /// p2,4 {e}, p2,5 {f}.
 fn tr2_activities() -> [ActivitySet; 5] {
-    [acts(&[0]), acts(&[1, 2]), acts(&[2, 3]), acts(&[4]), acts(&[5])]
+    [
+        acts(&[0]),
+        acts(&[1, 2]),
+        acts(&[2, 3]),
+        acts(&[4]),
+        acts(&[5]),
+    ]
 }
 
 /// Fig. 1 distance matrix for Tr1 (rows q1..q3, columns p1..p5).
@@ -185,13 +197,34 @@ fn table_ii_dmpm_trace() {
     // atsq-matching checks intermediate hash states too).
     let qm = QueryMask::new(&acts(&[0, 1, 2, 3]));
     let points = vec![
-        CandidatePoint { dist: 10.0, mask: 0b0001 },
-        CandidatePoint { dist: 11.0, mask: 0b0110 },
-        CandidatePoint { dist: 13.0, mask: 0b0011 },
-        CandidatePoint { dist: 15.0, mask: 0b1000 },
-        CandidatePoint { dist: 17.0, mask: 0b1100 },
-        CandidatePoint { dist: 26.0, mask: 0b0111 },
-        CandidatePoint { dist: 31.0, mask: 0b1111 },
+        CandidatePoint {
+            dist: 10.0,
+            mask: 0b0001,
+        },
+        CandidatePoint {
+            dist: 11.0,
+            mask: 0b0110,
+        },
+        CandidatePoint {
+            dist: 13.0,
+            mask: 0b0011,
+        },
+        CandidatePoint {
+            dist: 15.0,
+            mask: 0b1000,
+        },
+        CandidatePoint {
+            dist: 17.0,
+            mask: 0b1100,
+        },
+        CandidatePoint {
+            dist: 26.0,
+            mask: 0b0111,
+        },
+        CandidatePoint {
+            dist: 31.0,
+            mask: 0b1111,
+        },
     ];
     assert_eq!(dmpm_from_sorted(&qm, &points), Some(30.0));
 }
