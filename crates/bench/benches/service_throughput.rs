@@ -9,7 +9,7 @@
 //! Environment knobs: `SERVICE_BENCH_SCALE` (dataset scale, default
 //! 0.002), `SERVICE_BENCH_REQUESTS` (default 2000).
 
-use atsq_core::GatEngine;
+use atsq_core::{Engine, GatEngine};
 use atsq_datagen::{generate, generate_queries, CityConfig, QueryGenConfig, Zipf};
 use atsq_service::{Request, Service, ServiceConfig};
 use atsq_types::Query;
@@ -39,7 +39,7 @@ fn main() {
         .unwrap_or(2000);
 
     let dataset = generate(&CityConfig::la_like(scale)).expect("dataset");
-    let engine = Arc::new(GatEngine::build(&dataset).expect("engine"));
+    let engine = Arc::new(Engine::Gat(GatEngine::build(&dataset).expect("engine")));
     let dataset = Arc::new(dataset);
     let pool = generate_queries(
         &dataset,
@@ -86,7 +86,7 @@ fn main() {
 
 fn run_sweep(
     dataset: &Arc<atsq_types::Dataset>,
-    engine: &Arc<GatEngine>,
+    engine: &Arc<Engine>,
     pool: &[Query],
     workers: usize,
     cache: usize,

@@ -1,0 +1,207 @@
+//! Shard scaling: top-k latency vs. shard count.
+//!
+//! A self-driving harness (`harness = false`, no criterion): builds
+//! the fig7-scale NY-like city, then measures ATSQ / OATSQ top-k
+//! latency through [`ShardedEngine`] at a sweep of shard counts for
+//! both partitioners, verifying along the way that every sharded
+//! configuration answers exactly like the single index. Prints a
+//! table and emits `BENCH_shard_scaling.json` (path overridable via
+//! `BENCH_OUT`) for the benchmark trajectory.
+//!
+//! Two latencies are reported per configuration:
+//!
+//! * `*_ms` — measured wall-clock on this host. The engine runs
+//!   shards on `min(S, available_parallelism)` threads, so this is
+//!   what the current hardware delivers.
+//! * `*_critical_ms` — the per-query critical path: the busiest
+//!   shard's search time (from [`ShardedEngine::per_shard_busy_ns`]).
+//!   This is the latency a host with at least one core per shard
+//!   observes; on a single-core host wall-clock instead approaches
+//!   the *sum* of shard times and multi-shard configurations cannot
+//!   beat one shard no matter the algorithm. The JSON records
+//!   `parallelism` so a curve can always be interpreted.
+//!
+//! Environment knobs: `SHARD_SCALING_SCALE` (dataset scale, default
+//! 0.006 — the Fig. 7 full-size city), `SHARD_SCALING_QUERIES`
+//! (default 24), `SHARD_SCALING_SHARDS` (comma-separated, default
+//! `1,2,4,8`).
+
+use atsq_bench::{workload, Setting};
+use atsq_core::{GatEngine, Partition, QueryEngine, ShardedEngine};
+use atsq_datagen::{generate, CityConfig};
+use atsq_types::Query;
+use std::time::Instant;
+
+struct Sweep {
+    partition: Partition,
+    shards: usize,
+    atsq_ms: f64,
+    atsq_critical_ms: f64,
+    oatsq_ms: f64,
+    oatsq_critical_ms: f64,
+}
+
+fn main() {
+    let scale: f64 = env_or("SHARD_SCALING_SCALE", 0.006);
+    let n_queries: usize = env_or("SHARD_SCALING_QUERIES", 24);
+    let shard_counts: Vec<usize> = std::env::var("SHARD_SCALING_SHARDS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("SHARD_SCALING_SHARDS"))
+        .collect();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let config = CityConfig::ny_like(scale);
+    let dataset = generate(&config).expect("dataset");
+    let setting = Setting::default();
+    let queries = workload(&dataset, &setting, n_queries, 0x5AAD);
+    let single = GatEngine::build(&dataset).expect("single index");
+
+    println!(
+        "shard_scaling: {} ({} trajectories), {} queries, k={}, parallelism {}",
+        config.name,
+        dataset.len(),
+        queries.len(),
+        setting.k,
+        parallelism
+    );
+    if parallelism == 1 {
+        println!(
+            "note: single-core host — wall-clock sums the shards; \
+             the *_critical_ms columns carry the scaling curve"
+        );
+    }
+    println!(
+        "{:>10}{:>8}{:>12}{:>14}{:>12}{:>14}",
+        "partition", "shards", "ATSQ ms", "crit ms", "OATSQ ms", "crit ms"
+    );
+
+    let mut sweeps = Vec::new();
+    for partition in [Partition::Hash, Partition::Spatial] {
+        for &shards in &shard_counts {
+            let engine = ShardedEngine::build(&dataset, shards, partition).expect("sharded engine");
+            verify(&engine, &single, &dataset, &queries, setting.k);
+            let (atsq_ms, atsq_critical_ms) = time_ms(&engine, &queries, |q| {
+                std::hint::black_box(engine.atsq(q, setting.k));
+            });
+            let (oatsq_ms, oatsq_critical_ms) = time_ms(&engine, &queries, |q| {
+                std::hint::black_box(engine.oatsq(q, setting.k));
+            });
+            println!(
+                "{:>10}{:>8}{:>12.3}{:>14.3}{:>12.3}{:>14.3}",
+                partition.to_string(),
+                shards,
+                atsq_ms,
+                atsq_critical_ms,
+                oatsq_ms,
+                oatsq_critical_ms
+            );
+            sweeps.push(Sweep {
+                partition,
+                shards,
+                atsq_ms,
+                atsq_critical_ms,
+                oatsq_ms,
+                oatsq_critical_ms,
+            });
+        }
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_shard_scaling.json".into());
+    let json = to_json(&config.name, &dataset, &queries, parallelism, &sweeps);
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Average wall-clock and critical-path per query in ms, after one
+/// warm-up pass. The critical path of one query is its busiest
+/// shard's search time; per-shard busy time is accumulated across the
+/// run, so the busiest shard's total divided by the query count is
+/// the average critical path when the same shard is busiest on every
+/// query (typical for this sweep's balanced partitions). When the
+/// busiest shard varies per query, max-of-totals understates
+/// avg-of-maxes, so read the column as an optimistic (lower) bound on
+/// ≥S-core latency.
+fn time_ms(engine: &ShardedEngine, queries: &[Query], mut run: impl FnMut(&Query)) -> (f64, f64) {
+    for q in queries {
+        run(q);
+    }
+    engine.reset_stats();
+    let t0 = Instant::now();
+    for q in queries {
+        run(q);
+    }
+    let n = queries.len().max(1) as f64;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3 / n;
+    let critical_ms = engine.per_shard_busy_ns().into_iter().max().unwrap_or(0) as f64 / 1e6 / n;
+    (wall_ms, critical_ms)
+}
+
+/// Exactness gate: a bench point for a configuration that answers
+/// differently from the single index would be meaningless.
+fn verify(
+    engine: &ShardedEngine,
+    single: &GatEngine,
+    dataset: &atsq_types::Dataset,
+    queries: &[Query],
+    k: usize,
+) {
+    for q in queries.iter().take(4) {
+        assert_eq!(
+            engine.atsq(q, k),
+            single.atsq(dataset, q, k),
+            "sharded ATSQ diverged at S={}",
+            engine.shard_count()
+        );
+        assert_eq!(
+            engine.oatsq(q, k),
+            single.oatsq(dataset, q, k),
+            "sharded OATSQ diverged at S={}",
+            engine.shard_count()
+        );
+    }
+}
+
+fn to_json(
+    city: &str,
+    dataset: &atsq_types::Dataset,
+    queries: &[Query],
+    parallelism: usize,
+    sweeps: &[Sweep],
+) -> String {
+    let rows: Vec<String> = sweeps
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    r#"{{"partition":"{}","shards":{},"atsq_ms":{:.4},"#,
+                    r#""atsq_critical_ms":{:.4},"oatsq_ms":{:.4},"oatsq_critical_ms":{:.4}}}"#
+                ),
+                s.partition,
+                s.shards,
+                s.atsq_ms,
+                s.atsq_critical_ms,
+                s.oatsq_ms,
+                s.oatsq_critical_ms
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            r#"{{"bench":"shard_scaling","city":"{}","trajectories":{},"#,
+            r#""queries":{},"parallelism":{},"sweeps":[{}]}}"#
+        ),
+        city,
+        dataset.len(),
+        queries.len(),
+        parallelism,
+        rows.join(",")
+    )
+}

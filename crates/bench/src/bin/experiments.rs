@@ -281,6 +281,7 @@ fn engine_fetches(e: &Engine) -> u64 {
         // not per cell, so they are reported separately rather than
         // charged one seek each.
         Engine::Gat(g) => g.index().stats().snapshot().apl_reads,
+        Engine::Sharded(s) => s.per_shard_stats().iter().map(|io| io.apl_reads).sum(),
     }
 }
 
@@ -290,6 +291,7 @@ fn reset_fetches(e: &Engine) {
         Engine::Rt(rt) => rt.reset_fetches(),
         Engine::Irt(irt) => irt.reset_fetches(),
         Engine::Gat(g) => g.index().stats().reset(),
+        Engine::Sharded(s) => s.reset_stats(),
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::args::parse;
 use crate::CliError;
-use atsq_core::{matching, Engine, GatEngine, QueryEngine};
+use atsq_core::{matching, Engine, GatEngine, Partition, QueryEngine, ShardedEngine};
 use atsq_datagen::CityConfig;
 use atsq_service::{LoadgenConfig, Server, Service, ServiceConfig};
 use atsq_types::{ActivitySet, Dataset, Point, Query, QueryPoint};
@@ -152,6 +152,20 @@ fn parse_stop(spec: &str, dataset: &Dataset) -> Result<QueryPoint, CliError> {
     ))
 }
 
+/// Parses the shared `--shards` / `--partition` pair.
+fn parse_sharding(f: &crate::args::Flags) -> Result<(usize, Partition), CliError> {
+    let shards: usize = f.num("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be ≥ 1".into()));
+    }
+    let partition = f
+        .get("partition")
+        .unwrap_or("hash")
+        .parse::<Partition>()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok((shards, partition))
+}
+
 fn build_engine(dataset: &Dataset, name: &str) -> Result<Engine, CliError> {
     Ok(match name {
         "gat" => Engine::Gat(GatEngine::build(dataset)?),
@@ -176,7 +190,15 @@ fn build_engine(dataset: &Dataset, name: &str) -> Result<Engine, CliError> {
 pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let f = parse(
         argv,
-        &["data", "engine", "k", "range", "stop"],
+        &[
+            "data",
+            "engine",
+            "k",
+            "range",
+            "stop",
+            "shards",
+            "partition",
+        ],
         &["ordered", "witness"],
     )?;
     let dataset = load_dataset(f.require("data")?)?;
@@ -187,7 +209,18 @@ pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let points: Result<Vec<QueryPoint>, CliError> =
         stops.iter().map(|s| parse_stop(s, &dataset)).collect();
     let query = Query::new(points?)?;
-    let engine = build_engine(&dataset, f.get("engine").unwrap_or("gat"))?;
+    let (shards, partition) = parse_sharding(&f)?;
+    let engine_name = f.get("engine").unwrap_or("gat");
+    let engine = if shards > 1 {
+        if engine_name != "gat" {
+            return Err(CliError::Usage(
+                "--shards only applies to the default gat engine".into(),
+            ));
+        }
+        Engine::Sharded(ShardedEngine::build(&dataset, shards, partition)?)
+    } else {
+        build_engine(&dataset, engine_name)?
+    };
     let ordered = f.has("ordered");
 
     let results = if let Some(tau) = f.get("range") {
@@ -283,11 +316,14 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "cache",
             "deadline-ms",
             "duration-s",
+            "shards",
+            "partition",
         ],
         &[],
     )?;
     let dataset = load_dataset(f.require("data")?)?;
     let defaults = ServiceConfig::default();
+    let (shards, partition) = parse_sharding(&f)?;
     let config = ServiceConfig {
         workers: f.num("workers", defaults.workers)?,
         queue_capacity: f.num("queue", defaults.queue_capacity)?,
@@ -298,6 +334,8 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             None => None,
             Some(_) => Some(Duration::from_millis(f.num("deadline-ms", 0u64)?)),
         },
+        shards,
+        partition,
     };
     let duration_s: u64 = f.num("duration-s", 0)?;
     let n = dataset.len();
@@ -305,9 +343,14 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let service = Service::build(dataset, config)?;
     let server = Server::bind(service.handle(), f.get("addr").unwrap_or("127.0.0.1:7878"))
         .map_err(CliError::Io)?;
+    let sharding = if shards > 1 {
+        format!(", {shards} {partition} shards")
+    } else {
+        String::new()
+    };
     writeln!(
         out,
-        "serving {n} trajectories on {} ({workers} workers); NDJSON, one request per line",
+        "serving {n} trajectories on {} ({workers} workers{sharding}); NDJSON, one request per line",
         server.local_addr()
     )?;
     if duration_s == 0 {
@@ -532,6 +575,70 @@ u2,34.10,-118.30,20,hiking with a view
             "gat-paged",
         ]);
         assert_eq!(mem, paged);
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn sharded_query_matches_single_index() {
+        let dir = std::env::temp_dir().join("atsq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("sharded.atsq");
+        let snap = snap.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--seed", "3", "--out", snap]);
+        let dataset = load_dataset(snap).unwrap();
+        let name = dataset
+            .vocabulary()
+            .name(atsq_types::ActivityId(0))
+            .unwrap();
+        let stop = format!("10.0,10.0:{name}");
+        let single = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "5"]);
+        for partition in ["hash", "spatial"] {
+            let sharded = run_ok(&[
+                "query",
+                "--data",
+                snap,
+                "--stop",
+                &stop,
+                "--k",
+                "5",
+                "--shards",
+                "3",
+                "--partition",
+                partition,
+            ]);
+            assert_eq!(
+                single.replace("[GAT]", "[GAT-SHARDED]"),
+                sharded,
+                "{partition}"
+            );
+        }
+        // Sharding a baseline engine or 0 shards is a usage error.
+        let mut out = Vec::new();
+        assert!(run(
+            &sv(&["query", "--data", snap, "--stop", &stop, "--shards", "2", "--engine", "il"]),
+            &mut out
+        )
+        .is_err());
+        assert!(run(
+            &sv(&["query", "--data", snap, "--stop", &stop, "--shards", "0"]),
+            &mut out
+        )
+        .is_err());
+        assert!(run(
+            &sv(&[
+                "query",
+                "--data",
+                snap,
+                "--stop",
+                &stop,
+                "--shards",
+                "2",
+                "--partition",
+                "mars"
+            ]),
+            &mut out
+        )
+        .is_err());
         std::fs::remove_file(snap).ok();
     }
 

@@ -58,11 +58,13 @@ USAGE:
   atsq stats    --data FILE
   atsq query    --data FILE [--engine gat|gat-paged|il|rt|irt] [--k N]
                 [--ordered] [--range TAU] --stop \"x,y:act1;act2\"
-                [--stop ...] [--witness]
+                [--stop ...] [--witness] [--shards S]
+                [--partition hash|spatial]
   atsq bench    --data FILE [--queries N] [--k N]
   atsq serve    --data FILE [--addr HOST:PORT] [--workers N]
                 [--queue N] [--batch N] [--batch-threads N] [--cache N]
-                [--deadline-ms MS] [--duration-s S]
+                [--deadline-ms MS] [--duration-s S] [--shards S]
+                [--partition hash|spatial]
   atsq loadgen  --data FILE --addr HOST:PORT [--concurrency N]
                 [--requests N] [--k N] [--pool N] [--zipf S]
                 [--query-points N] [--acts-per-point N] [--seed N]
@@ -71,6 +73,10 @@ USAGE:
 Datasets are `atsq v1` text snapshots (see atsq-io). Activities in
 --stop are names from the dataset vocabulary. With --tips the CSV's
 fifth column is free text and activities are mined from it.
+
+--shards S > 1 partitions the dataset into S GAT shards (hash or
+spatial partitioner) searched in parallel with a shared k-th-best
+pruning bound; results are identical to a single index.
 
 `serve` answers newline-delimited JSON over TCP, e.g.
   {\"op\":\"atsq\",\"k\":5,\"stops\":[{\"x\":12.0,\"y\":7.5,\"acts\":[\"coffee\"]}]}

@@ -110,4 +110,21 @@ mod tests {
         let out = run_batch(&engine, &dataset, &[], 3, QueryKind::Atsq, 4);
         assert!(out.is_empty());
     }
+
+    /// The batch executor is engine-generic: running a batch through
+    /// the sharded engine (itself parallel per query) equals the
+    /// single-index engine, for both query kinds.
+    #[test]
+    fn sharded_engine_batches_match_single_index() {
+        use crate::{Partition, ShardedEngine};
+        let dataset = generate(&CityConfig::tiny(8)).unwrap();
+        let single = GatEngine::build(&dataset).unwrap();
+        let sharded = ShardedEngine::build(&dataset, 3, Partition::Spatial).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 8);
+        for kind in [QueryKind::Atsq, QueryKind::Oatsq] {
+            let want = run_batch(&single, &dataset, &queries, 5, kind, 1);
+            let got = run_batch(&sharded, &dataset, &queries, 5, kind, 4);
+            assert_eq!(got, want, "{kind:?} diverged through the sharded engine");
+        }
+    }
 }

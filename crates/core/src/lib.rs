@@ -53,7 +53,7 @@ pub mod batch;
 pub mod profile;
 
 pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
-pub use atsq_gat::{GatConfig, GatIndex, PagedAplConfig, PagedBacking};
+pub use atsq_gat::{GatConfig, GatIndex, PagedAplConfig, PagedBacking, Partition, ShardedEngine};
 pub use atsq_matching as matching;
 pub use atsq_types as types;
 pub use batch::{run_batch, QueryKind};
@@ -65,7 +65,7 @@ use atsq_types::{Dataset, Query, QueryResult, Result};
 pub mod prelude {
     pub use crate::{Engine, GatEngine, QueryEngine};
     pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
-    pub use atsq_gat::GatConfig;
+    pub use atsq_gat::{GatConfig, Partition, ShardedEngine};
     pub use atsq_types::{
         ActivityId, ActivitySet, Dataset, DatasetBuilder, Point, Query, QueryPoint, QueryResult,
         Rect, Trajectory, TrajectoryId, TrajectoryPoint,
@@ -200,7 +200,33 @@ impl QueryEngine for IrtEngine {
     }
 }
 
-/// Owned enum over the four engines, convenient for benchmark sweeps.
+/// The sharded GAT engine behind the common interface. The trait
+/// passes the *global* dataset; the engine answers from its own shard
+/// copies, so only the length is cross-checked.
+impl QueryEngine for ShardedEngine {
+    fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        debug_assert_eq!(dataset.len(), self.len(), "dataset/engine mismatch");
+        ShardedEngine::atsq(self, query, k)
+    }
+    fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
+        debug_assert_eq!(dataset.len(), self.len(), "dataset/engine mismatch");
+        ShardedEngine::oatsq(self, query, k)
+    }
+    fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        debug_assert_eq!(dataset.len(), self.len(), "dataset/engine mismatch");
+        ShardedEngine::atsq_range(self, query, tau)
+    }
+    fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
+        debug_assert_eq!(dataset.len(), self.len(), "dataset/engine mismatch");
+        ShardedEngine::oatsq_range(self, query, tau)
+    }
+    fn name(&self) -> &'static str {
+        "GAT-SHARDED"
+    }
+}
+
+/// Owned enum over the engines, convenient for benchmark sweeps and
+/// for serving one concrete type.
 #[derive(Debug)]
 #[allow(clippy::large_enum_variant)] // engines are built once and never moved
 pub enum Engine {
@@ -212,6 +238,9 @@ pub enum Engine {
     Rt(RtEngine),
     /// IR-tree baseline.
     Irt(IrtEngine),
+    /// Sharded parallel GAT (one index per shard, shared k-th-best
+    /// bound). Not part of [`Engine::build_all`]'s paper line-up.
+    Sharded(ShardedEngine),
 }
 
 impl Engine {
@@ -234,6 +263,7 @@ impl QueryEngine for Engine {
             Engine::Il(e) => QueryEngine::atsq(e, dataset, query, k),
             Engine::Rt(e) => QueryEngine::atsq(e, dataset, query, k),
             Engine::Irt(e) => QueryEngine::atsq(e, dataset, query, k),
+            Engine::Sharded(e) => QueryEngine::atsq(e, dataset, query, k),
         }
     }
     fn oatsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
@@ -242,6 +272,7 @@ impl QueryEngine for Engine {
             Engine::Il(e) => QueryEngine::oatsq(e, dataset, query, k),
             Engine::Rt(e) => QueryEngine::oatsq(e, dataset, query, k),
             Engine::Irt(e) => QueryEngine::oatsq(e, dataset, query, k),
+            Engine::Sharded(e) => QueryEngine::oatsq(e, dataset, query, k),
         }
     }
     fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
@@ -250,6 +281,7 @@ impl QueryEngine for Engine {
             Engine::Il(e) => QueryEngine::atsq_range(e, dataset, query, tau),
             Engine::Rt(e) => QueryEngine::atsq_range(e, dataset, query, tau),
             Engine::Irt(e) => QueryEngine::atsq_range(e, dataset, query, tau),
+            Engine::Sharded(e) => QueryEngine::atsq_range(e, dataset, query, tau),
         }
     }
     fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
@@ -258,6 +290,7 @@ impl QueryEngine for Engine {
             Engine::Il(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
             Engine::Rt(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
             Engine::Irt(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
+            Engine::Sharded(e) => QueryEngine::oatsq_range(e, dataset, query, tau),
         }
     }
     fn name(&self) -> &'static str {
@@ -266,6 +299,7 @@ impl QueryEngine for Engine {
             Engine::Il(e) => e.name(),
             Engine::Rt(e) => e.name(),
             Engine::Irt(e) => e.name(),
+            Engine::Sharded(e) => e.name(),
         }
     }
 }

@@ -7,7 +7,7 @@
 //! those counters behind one [`EngineCounters`] snapshot so experiments
 //! can report pruning power next to latency.
 
-use crate::{Engine, GatEngine};
+use crate::{Engine, GatEngine, ShardedEngine};
 use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
 
 /// Work performed by an engine since the last reset.
@@ -50,21 +50,49 @@ pub trait Profiled {
 
 impl Profiled for GatEngine {
     fn counters(&self) -> EngineCounters {
-        let s = self.index().stats().snapshot();
-        EngineCounters {
-            candidates: s.candidates_retrieved,
-            distance_evals: s.distances_computed,
-            // Every candidate that passes the sketch proceeds to the
-            // APL, so the TAS discards are checks minus APL reads.
-            tas_pruned: s.tas_checks.saturating_sub(s.apl_reads),
-            tas_false_positives: s.tas_false_positives,
-            apl_reads: s.apl_reads,
-            cold_reads: s.hicl_cold_reads,
-        }
+        counters_from_io(self.index().stats().snapshot())
     }
     fn reset_counters(&self) {
         self.index().stats().reset();
         self.index().apl().reset_pool_stats();
+    }
+}
+
+fn counters_from_io(s: atsq_gat::stats::IoSnapshot) -> EngineCounters {
+    EngineCounters {
+        candidates: s.candidates_retrieved,
+        distance_evals: s.distances_computed,
+        // Every candidate that passes the sketch proceeds to the APL,
+        // so the TAS discards are checks minus APL reads.
+        tas_pruned: s.tas_checks.saturating_sub(s.apl_reads),
+        tas_false_positives: s.tas_false_positives,
+        apl_reads: s.apl_reads,
+        cold_reads: s.hicl_cold_reads,
+    }
+}
+
+impl EngineCounters {
+    /// Component-wise sum — aggregates per-shard counters into one.
+    pub fn sum(counters: impl IntoIterator<Item = EngineCounters>) -> EngineCounters {
+        counters
+            .into_iter()
+            .fold(EngineCounters::default(), |a, b| EngineCounters {
+                candidates: a.candidates + b.candidates,
+                distance_evals: a.distance_evals + b.distance_evals,
+                tas_pruned: a.tas_pruned + b.tas_pruned,
+                tas_false_positives: a.tas_false_positives + b.tas_false_positives,
+                apl_reads: a.apl_reads + b.apl_reads,
+                cold_reads: a.cold_reads + b.cold_reads,
+            })
+    }
+}
+
+impl Profiled for ShardedEngine {
+    fn counters(&self) -> EngineCounters {
+        EngineCounters::sum(self.per_shard_stats().into_iter().map(counters_from_io))
+    }
+    fn reset_counters(&self) {
+        self.reset_stats();
     }
 }
 
@@ -99,6 +127,7 @@ impl Profiled for Engine {
             Engine::Il(e) => e.counters(),
             Engine::Rt(e) => e.counters(),
             Engine::Irt(e) => e.counters(),
+            Engine::Sharded(e) => e.counters(),
         }
     }
     fn reset_counters(&self) {
@@ -107,6 +136,23 @@ impl Profiled for Engine {
             Engine::Il(e) => e.reset_counters(),
             Engine::Rt(e) => e.reset_counters(),
             Engine::Irt(e) => e.reset_counters(),
+            Engine::Sharded(e) => e.reset_counters(),
+        }
+    }
+}
+
+impl Engine {
+    /// Work counters broken out per shard — one entry per shard for
+    /// the sharded engine, a single entry otherwise. Serving stats use
+    /// this to expose per-shard candidate counts.
+    pub fn per_shard_counters(&self) -> Vec<EngineCounters> {
+        match self {
+            Engine::Sharded(e) => e
+                .per_shard_stats()
+                .into_iter()
+                .map(counters_from_io)
+                .collect(),
+            other => vec![other.counters()],
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod index;
 pub mod itl;
 pub mod paged;
 pub mod search;
+pub mod sharded;
 pub mod stats;
 pub mod tas;
 
@@ -39,6 +40,9 @@ pub use config::GatConfig;
 pub use index::{GatIndex, MemoryReport};
 pub use paged::{AplStorage, PagedApl, PagedAplConfig, PagedBacking};
 pub use search::{
-    atsq, atsq_range, oatsq, oatsq_range, try_atsq, try_atsq_range, try_oatsq, try_oatsq_range,
+    atsq, atsq_range, oatsq, oatsq_range, try_atsq, try_atsq_range, try_atsq_range_with_bound,
+    try_atsq_with_bound, try_oatsq, try_oatsq_range, try_oatsq_range_with_bound,
+    try_oatsq_with_bound, SharedKthBound,
 };
+pub use sharded::{Partition, ShardedEngine};
 pub use stats::IoStats;

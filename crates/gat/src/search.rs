@@ -10,6 +10,52 @@ use atsq_matching::point_match::{dmpm_from_sorted, CandidatePoint, QueryMask};
 use atsq_types::{rank_top_k, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// A shared, monotonically tightening upper bound on the distance any
+/// result still has to beat — the cross-shard generalisation of the
+/// `Dkmm` pruning bound of Algorithm 1.
+///
+/// Injected into [`try_atsq_with_bound`] / [`try_oatsq_with_bound`],
+/// the bound carries the best `k`-th-best distance *published by any
+/// participant* (shard), so one shard's full top-k heap tightens every
+/// other shard's termination test and OATSQ early exit. Soundness: the
+/// search loops only use the bound through `min(local kth, shared)`,
+/// and every published value is the k-th smallest distance of `k` real
+/// trajectories — an upper bound on the final global k-th best — so
+/// anything pruned against it is *strictly* worse than the global
+/// answer set (the loops prune strictly, which also keeps
+/// tie-breaking identical to the single-index path).
+///
+/// Encoding: distances are non-negative, and IEEE-754 orders
+/// non-negative doubles identically to their raw bit patterns, so the
+/// bound lives in an `AtomicU64` tightened with lock-free `fetch_min`.
+#[derive(Debug)]
+pub struct SharedKthBound(AtomicU64);
+
+impl Default for SharedKthBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedKthBound {
+    /// A fresh bound at `+∞` (prunes nothing until tightened).
+    pub fn new() -> Self {
+        SharedKthBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// The tightest distance published so far.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Publishes a candidate bound; the stored value only decreases.
+    pub fn tighten(&self, dist: f64) {
+        debug_assert!(dist >= 0.0, "distances are non-negative");
+        self.0.fetch_min(dist.to_bits(), AtomicOrdering::Relaxed);
+    }
+}
 
 /// Total-ordering wrapper for f64 priorities (never NaN here).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -341,12 +387,20 @@ fn evaluate_oatsq(
     Ok(min_order_match_distance(query, points, dk))
 }
 
-/// Runs Algorithm 1 with a pluggable candidate evaluator.
+/// Runs Algorithm 1 with a pluggable candidate evaluator and an
+/// optional externally shared pruning bound.
+///
+/// When `bound` is present, every pruning decision — the evaluator's
+/// `Dkmom` early exit and the Algorithm-1 termination test — uses
+/// `min(local k-th best, bound)`, and the local k-th best is published
+/// back whenever it improves. With `None` the loop is exactly the
+/// paper's single-index Algorithm 1.
 fn search_loop(
     index: &GatIndex,
     dataset: &Dataset,
     query: &Query,
     k: usize,
+    bound: Option<&SharedKthBound>,
     mut evaluate: impl FnMut(TrajectoryId, f64) -> Result<Option<f64>>,
 ) -> Result<Vec<QueryResult>> {
     if k == 0 || dataset.is_empty() {
@@ -355,12 +409,29 @@ fn search_loop(
     let mut retrieval = Retrieval::new(index, dataset, query)?;
     let mut top = TopK::new(k);
     let lambda = index.config().lambda;
+    let effective = |local: f64| bound.map_or(local, |b| local.min(b.get()));
+
+    // Entry check: a bound inherited from other shards may already
+    // beat everything this index could contribute (its lower bound
+    // covers ALL its trajectories before the first retrieval), in
+    // which case the whole search is skipped — this is what makes a
+    // far shard nearly free once a near shard has published its top-k.
+    if let Some(b) = bound {
+        if b.get() < retrieval.lower_bound()? {
+            return Ok(Vec::new());
+        }
+    }
 
     loop {
         let batch = retrieval.retrieve_batch(lambda)?;
         for tr in batch {
-            if let Some(dist) = evaluate(tr, top.kth())? {
+            if let Some(dist) = evaluate(tr, effective(top.kth()))? {
                 top.offer(dist, tr);
+                if let Some(b) = bound {
+                    // kth() is +∞ until the heap fills; tighten is a
+                    // no-op then, so publish unconditionally.
+                    b.tighten(top.kth());
+                }
             }
         }
         if retrieval.exhausted() {
@@ -368,7 +439,7 @@ fn search_loop(
         }
         // Termination: the k-th best beats anything still unseen.
         let dlb = retrieval.lower_bound()?;
-        if top.kth() < dlb {
+        if effective(top.kth()) < dlb {
             break;
         }
     }
@@ -376,11 +447,18 @@ fn search_loop(
 }
 
 /// Range variant of the search loop: every trajectory within `tau`.
+///
+/// A present `bound` tightens the cutoff to `min(tau, bound)`; callers
+/// injecting one promise that results beyond the bound are not wanted
+/// (for a sharded range query `tau` is already global, so the sharded
+/// engine passes `None` — the hook exists for callers imposing an
+/// extra result-distance budget).
 fn range_loop(
     index: &GatIndex,
     dataset: &Dataset,
     query: &Query,
     tau: f64,
+    bound: Option<&SharedKthBound>,
     mut evaluate: impl FnMut(TrajectoryId, f64) -> Result<Option<f64>>,
 ) -> Result<Vec<QueryResult>> {
     let mut out = Vec::new();
@@ -389,10 +467,11 @@ fn range_loop(
     }
     let mut retrieval = Retrieval::new(index, dataset, query)?;
     let lambda = index.config().lambda;
+    let cutoff = || bound.map_or(tau, |b| tau.min(b.get()));
     loop {
         let batch = retrieval.retrieve_batch(lambda)?;
         for tr in batch {
-            if let Some(dist) = evaluate(tr, tau)? {
+            if let Some(dist) = evaluate(tr, cutoff())? {
                 if dist <= tau {
                     out.push(QueryResult::new(tr, dist));
                 }
@@ -402,7 +481,7 @@ fn range_loop(
             break;
         }
         // Every unseen trajectory is strictly beyond the radius.
-        if retrieval.lower_bound()? > tau {
+        if retrieval.lower_bound()? > cutoff() {
             break;
         }
     }
@@ -416,8 +495,25 @@ pub fn try_atsq_range(
     query: &Query,
     tau: f64,
 ) -> Result<Vec<QueryResult>> {
+    try_atsq_range_with_bound(index, dataset, query, tau, None)
+}
+
+/// [`try_atsq_range`] with an optional injected result-distance budget:
+/// when present, only trajectories with `Dmm ≤ min(tau, bound)` are
+/// guaranteed to be returned — the caller promises results beyond the
+/// bound are not wanted. A sharded range query passes `None` (`tau` is
+/// already global); the hook serves callers imposing an extra global
+/// budget, e.g. "within `tau`, but nothing worse than the `k`-th best
+/// found elsewhere".
+pub fn try_atsq_range_with_bound(
+    index: &GatIndex,
+    dataset: &Dataset,
+    query: &Query,
+    tau: f64,
+    bound: Option<&SharedKthBound>,
+) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
-    range_loop(index, dataset, query, tau, |tr, _| {
+    range_loop(index, dataset, query, tau, bound, |tr, _| {
         evaluate_atsq(index, dataset, query, &all_acts, tr)
     })
 }
@@ -446,10 +542,22 @@ pub fn try_oatsq_range(
     query: &Query,
     tau: f64,
 ) -> Result<Vec<QueryResult>> {
+    try_oatsq_range_with_bound(index, dataset, query, tau, None)
+}
+
+/// [`try_oatsq_range`] with an optional injected result-distance
+/// budget (see [`try_atsq_range_with_bound`] for the contract).
+pub fn try_oatsq_range_with_bound(
+    index: &GatIndex,
+    dataset: &Dataset,
+    query: &Query,
+    tau: f64,
+    bound: Option<&SharedKthBound>,
+) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
-    range_loop(index, dataset, query, tau, |tr, tau| {
+    range_loop(index, dataset, query, tau, bound, |tr, cutoff| {
         // Algorithm 4's early exit doubles as the radius filter.
-        evaluate_oatsq(index, dataset, query, &all_acts, tr, tau)
+        evaluate_oatsq(index, dataset, query, &all_acts, tr, cutoff)
     })
 }
 
@@ -473,8 +581,23 @@ pub fn try_atsq(
     query: &Query,
     k: usize,
 ) -> Result<Vec<QueryResult>> {
+    try_atsq_with_bound(index, dataset, query, k, None)
+}
+
+/// [`try_atsq`] with an optional cross-participant pruning bound; the
+/// entry point of the sharded engine. Results are the exact per-index
+/// top-k *except* that trajectories strictly worse than the injected
+/// bound may be missing — which is precisely what makes merging
+/// per-shard answers exact (see [`SharedKthBound`]).
+pub fn try_atsq_with_bound(
+    index: &GatIndex,
+    dataset: &Dataset,
+    query: &Query,
+    k: usize,
+    bound: Option<&SharedKthBound>,
+) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
-    search_loop(index, dataset, query, k, |tr, _dk| {
+    search_loop(index, dataset, query, k, bound, |tr, _dk| {
         evaluate_atsq(index, dataset, query, &all_acts, tr)
     })
 }
@@ -496,8 +619,22 @@ pub fn try_oatsq(
     query: &Query,
     k: usize,
 ) -> Result<Vec<QueryResult>> {
+    try_oatsq_with_bound(index, dataset, query, k, None)
+}
+
+/// [`try_oatsq`] with an optional cross-participant pruning bound (see
+/// [`try_atsq_with_bound`]); the bound additionally feeds Algorithm 4's
+/// `Dkmom` early exit, whose strict comparison keeps equal-distance
+/// ties alive across shards.
+pub fn try_oatsq_with_bound(
+    index: &GatIndex,
+    dataset: &Dataset,
+    query: &Query,
+    k: usize,
+    bound: Option<&SharedKthBound>,
+) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
-    search_loop(index, dataset, query, k, |tr, dk| {
+    search_loop(index, dataset, query, k, bound, |tr, dk| {
         evaluate_oatsq(index, dataset, query, &all_acts, tr, dk)
     })
 }
@@ -637,6 +774,52 @@ mod tests {
         let q = Query::new(vec![qp(0.0, 0.0, &[3])]).unwrap(); // "d" never occurs
         assert!(atsq(&idx, &d, &q, 3).is_empty());
         assert!(oatsq(&idx, &d, &q, 3).is_empty());
+    }
+
+    #[test]
+    fn shared_bound_tightens_monotonically() {
+        let b = SharedKthBound::new();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.tighten(5.0);
+        assert_eq!(b.get(), 5.0);
+        b.tighten(7.0); // looser publications are ignored
+        assert_eq!(b.get(), 5.0);
+        b.tighten(1.25);
+        assert_eq!(b.get(), 1.25);
+        b.tighten(0.0);
+        assert_eq!(b.get(), 0.0);
+    }
+
+    /// The injected range budget: everything within `min(tau, bound)`
+    /// is still returned; results beyond the bound are best-effort.
+    #[test]
+    fn bounded_range_keeps_everything_within_the_budget() {
+        let d = dataset();
+        let idx = GatIndex::build_with(&d, config()).unwrap();
+        let q = query();
+        for tau in [1.0f64, 3.0, 100.0] {
+            let full = atsq_range(&idx, &d, &q, tau);
+            let full_o = oatsq_range(&idx, &d, &q, tau);
+            for budget in [0.05f64, 0.5, 2.5, 60.0] {
+                let bound = SharedKthBound::new();
+                bound.tighten(budget);
+                let capped = try_atsq_range_with_bound(&idx, &d, &q, tau, Some(&bound)).unwrap();
+                let want: Vec<&QueryResult> =
+                    full.iter().filter(|r| r.distance <= budget).collect();
+                for w in &want {
+                    assert!(capped.contains(w), "τ={tau} budget={budget}: lost {w:?}");
+                }
+                let capped_o = try_oatsq_range_with_bound(&idx, &d, &q, tau, Some(&bound)).unwrap();
+                for w in full_o.iter().filter(|r| r.distance <= budget) {
+                    assert!(
+                        capped_o.contains(w),
+                        "ordered τ={tau} budget={budget}: lost {w:?}"
+                    );
+                }
+                // Nothing outside tau ever appears.
+                assert!(capped.iter().chain(&capped_o).all(|r| r.distance <= tau));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! A sharded, parallel GAT engine.
+//!
+//! Nothing in the Algorithm-1 argument requires a single index: the
+//! Algorithm-2 lower bound is computed per index, and the `Dkmm`
+//! pruning bound only ever *over*-estimates the final k-th best
+//! distance. So the dataset can be split into `S` disjoint shards,
+//! each with its own [`GatIndex`], and a top-k query can run on all
+//! shards concurrently with a **shared k-th-best bound**
+//! ([`SharedKthBound`]): as soon as any shard's local top-k heap
+//! fills, its k-th distance tightens the termination test and the
+//! OATSQ early exit of every other shard. The merged answer is
+//! *exactly* the single-index answer (distances, ids and tie-breaks
+//! included) because
+//!
+//! 1. each shard returns its own exact top-k, minus only trajectories
+//!    strictly worse than the published bound — which is an upper
+//!    bound on the global k-th best, so those can never appear in the
+//!    global answer;
+//! 2. partitioning preserves ascending global-id order within each
+//!    shard, so per-shard heaps break distance ties exactly as the
+//!    single index does; and
+//! 3. the final [`rank_top_k`] merge re-ranks by `(distance, id)`.
+//!
+//! Range queries need no shared bound (`tau` is already global); they
+//! simply run per shard in parallel and concatenate.
+
+use crate::config::GatConfig;
+use crate::index::GatIndex;
+use crate::search::{
+    try_atsq_range, try_atsq_with_bound, try_oatsq_range, try_oatsq_with_bound, SharedKthBound,
+};
+use crate::stats::IoSnapshot;
+use atsq_grid::morton_encode;
+use atsq_types::{rank_top_k, Point};
+use atsq_types::{Dataset, Error, Query, QueryResult, Result, TrajectoryId};
+
+/// How trajectories are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Multiplicative hash of the trajectory id — uniform shard sizes,
+    /// no locality. The safe default for unknown workloads.
+    #[default]
+    Hash,
+    /// Z-order (Morton) sort of trajectory centroids, chunked into
+    /// contiguous runs — spatially local shards, so queries with small
+    /// diameters tend to fill one shard's top-k heap fast and the
+    /// shared bound shuts the other shards down early.
+    Spatial,
+}
+
+impl std::str::FromStr for Partition {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "hash" => Ok(Partition::Hash),
+            "spatial" => Ok(Partition::Spatial),
+            other => Err(Error::InvalidConfig(format!(
+                "partition must be `hash` or `spatial` (got `{other}`)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Partition::Hash => "hash",
+            Partition::Spatial => "spatial",
+        })
+    }
+}
+
+/// One shard: a sub-dataset with dense local ids, its GAT index, and
+/// the local→global id mapping.
+#[derive(Debug)]
+struct Shard {
+    dataset: Dataset,
+    index: GatIndex,
+    to_global: Vec<TrajectoryId>,
+    /// Centre of the shard's bounding rectangle, for proximity-ordered
+    /// search: starting at the shard nearest the query tightens the
+    /// shared bound fastest, which is what lets far shards exit at
+    /// their entry bound check.
+    center: Point,
+    /// Accumulated busy time of this shard's searches, in nanoseconds.
+    /// The *maximum* across shards is a query's critical path — the
+    /// latency a host with ≥ S cores observes; on fewer cores the
+    /// wall-clock approaches the *sum* instead.
+    busy_ns: std::sync::atomic::AtomicU64,
+}
+
+/// `S` disjoint [`GatIndex`] shards searched in parallel behind the
+/// same four query entry points as a single index. Unlike
+/// [`GatIndex`], the sharded engine owns (copies of) its shard
+/// datasets, because trajectory ids inside each shard are local.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    partition: Partition,
+    total: usize,
+}
+
+impl ShardedEngine {
+    /// Builds `shards` shards with the default GAT configuration.
+    pub fn build(dataset: &Dataset, shards: usize, partition: Partition) -> Result<Self> {
+        Self::build_with(dataset, shards, partition, GatConfig::default())
+    }
+
+    /// Builds with an explicit per-shard GAT configuration.
+    pub fn build_with(
+        dataset: &Dataset,
+        shards: usize,
+        partition: Partition,
+        config: GatConfig,
+    ) -> Result<Self> {
+        if shards == 0 {
+            return Err(Error::InvalidConfig("shard count must be ≥ 1".into()));
+        }
+        let membership = match partition {
+            Partition::Hash => hash_assign(dataset.len(), shards),
+            Partition::Spatial => spatial_assign(dataset, shards),
+        };
+        let shards = membership
+            .into_iter()
+            .map(|members| {
+                let shard_dataset = dataset.subset(&members);
+                let b = shard_dataset.bounds();
+                let center = Point::new((b.min.x + b.max.x) / 2.0, (b.min.y + b.max.y) / 2.0);
+                let index = GatIndex::build_with(&shard_dataset, config)?;
+                Ok(Shard {
+                    dataset: shard_dataset,
+                    index,
+                    to_global: members,
+                    center,
+                    busy_ns: std::sync::atomic::AtomicU64::new(0),
+                })
+            })
+            .collect::<Result<Vec<Shard>>>()?;
+        Ok(ShardedEngine {
+            shards,
+            partition,
+            total: dataset.len(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Trajectories per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.dataset.len()).collect()
+    }
+
+    /// Total trajectories across all shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the engine holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The partitioner this engine was built with.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Per-shard I/O counter snapshots, in shard order — the raw
+    /// material for per-shard candidate counts in serving stats.
+    pub fn per_shard_stats(&self) -> Vec<IoSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| s.index.stats().snapshot())
+            .collect()
+    }
+
+    /// Accumulated per-shard search busy time in nanoseconds, in shard
+    /// order. `max` over shards is the critical path of the measured
+    /// queries (the latency on a host with one core per shard); the
+    /// `sum` is the single-core cost.
+    pub fn per_shard_busy_ns(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.busy_ns.load(std::sync::atomic::Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes every shard's I/O counters and busy-time accounting.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.index.stats().reset();
+            s.busy_ns.store(0, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Top-`k` ATSQ across all shards (exact; see module docs).
+    pub fn try_atsq(&self, query: &Query, k: usize) -> Result<Vec<QueryResult>> {
+        let bound = SharedKthBound::new();
+        self.top_k(query, k, |shard, query| {
+            try_atsq_with_bound(&shard.index, &shard.dataset, query, k, Some(&bound))
+        })
+    }
+
+    /// Top-`k` OATSQ across all shards (exact; see module docs).
+    pub fn try_oatsq(&self, query: &Query, k: usize) -> Result<Vec<QueryResult>> {
+        let bound = SharedKthBound::new();
+        self.top_k(query, k, |shard, query| {
+            try_oatsq_with_bound(&shard.index, &shard.dataset, query, k, Some(&bound))
+        })
+    }
+
+    /// Range ATSQ: every trajectory with `Dmm ≤ tau`, across shards.
+    pub fn try_atsq_range(&self, query: &Query, tau: f64) -> Result<Vec<QueryResult>> {
+        self.merged(query, usize::MAX, |shard, query| {
+            try_atsq_range(&shard.index, &shard.dataset, query, tau)
+        })
+    }
+
+    /// Range OATSQ: every trajectory with `Dmom ≤ tau`, across shards.
+    pub fn try_oatsq_range(&self, query: &Query, tau: f64) -> Result<Vec<QueryResult>> {
+        self.merged(query, usize::MAX, |shard, query| {
+            try_oatsq_range(&shard.index, &shard.dataset, query, tau)
+        })
+    }
+
+    /// Panicking convenience forms, mirroring the single-index API.
+    pub fn atsq(&self, query: &Query, k: usize) -> Vec<QueryResult> {
+        self.try_atsq(query, k).expect("sharded ATSQ failed")
+    }
+
+    /// See [`ShardedEngine::atsq`].
+    pub fn oatsq(&self, query: &Query, k: usize) -> Vec<QueryResult> {
+        self.try_oatsq(query, k).expect("sharded OATSQ failed")
+    }
+
+    /// See [`ShardedEngine::atsq`].
+    pub fn atsq_range(&self, query: &Query, tau: f64) -> Vec<QueryResult> {
+        self.try_atsq_range(query, tau)
+            .expect("sharded range ATSQ failed")
+    }
+
+    /// See [`ShardedEngine::atsq`].
+    pub fn oatsq_range(&self, query: &Query, tau: f64) -> Vec<QueryResult> {
+        self.try_oatsq_range(query, tau)
+            .expect("sharded range OATSQ failed")
+    }
+
+    fn top_k(
+        &self,
+        query: &Query,
+        k: usize,
+        run: impl Fn(&Shard, &Query) -> Result<Vec<QueryResult>> + Sync,
+    ) -> Result<Vec<QueryResult>> {
+        self.merged(query, k, run)
+    }
+
+    /// Runs `run` on every shard, remaps local ids to global ids, and
+    /// re-ranks the union.
+    ///
+    /// Shards are visited in ascending distance from the query's
+    /// centroid: the nearest shard is the likeliest to hold the final
+    /// top-k, so searching it first publishes a tight shared bound
+    /// that lets far shards exit at their entry check. With more than
+    /// one core, `min(S, parallelism)` scoped workers drain the
+    /// proximity-ordered shard list; on a single core the same order
+    /// degenerates to the sequential cascade.
+    fn merged(
+        &self,
+        query: &Query,
+        k: usize,
+        run: impl Fn(&Shard, &Query) -> Result<Vec<QueryResult>> + Sync,
+    ) -> Result<Vec<QueryResult>> {
+        let run = |shard: &Shard, query: &Query| {
+            let t0 = std::time::Instant::now();
+            let out = run(shard, query);
+            shard.busy_ns.fetch_add(
+                t0.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            out
+        };
+        let qc = centroid(query.points.iter().map(|p| p.loc));
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = qc.dist(&self.shards[a].center);
+            let db = qc.dist(&self.shards[b].center);
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(order.len());
+
+        let mut per_shard: Vec<Option<Result<Vec<QueryResult>>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        if threads <= 1 || order.len() <= 1 {
+            for &i in &order {
+                per_shard[i] = Some(run(&self.shards[i], query));
+            }
+        } else {
+            let slots: Vec<std::sync::Mutex<Option<Result<Vec<QueryResult>>>>> = per_shard
+                .iter()
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            // `scope` joins every worker and re-raises panics before
+            // returning, so every slot is filled on exit.
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let next = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&i) = order.get(next) else { break };
+                        *slots[i].lock().expect("shard slot") = Some(run(&self.shards[i], query));
+                    });
+                }
+            });
+            for (slot, out) in slots.into_iter().zip(per_shard.iter_mut()) {
+                *out = slot.into_inner().expect("shard slot");
+            }
+        }
+
+        let mut all = Vec::new();
+        for (shard, results) in self.shards.iter().zip(per_shard) {
+            for r in results.expect("every shard searched")? {
+                all.push(QueryResult::new(
+                    shard.to_global[r.trajectory.index()],
+                    r.distance,
+                ));
+            }
+        }
+        Ok(rank_top_k(all, k))
+    }
+}
+
+/// Assigns ids `0..n` to shards by multiplicative (Fibonacci) hashing.
+/// Iterating ids in ascending order keeps every membership list
+/// ascending, which the tie-break argument in the module docs needs.
+fn hash_assign(n: usize, shards: usize) -> Vec<Vec<TrajectoryId>> {
+    let mut out = vec![Vec::new(); shards];
+    for id in 0..n as u32 {
+        let h = (u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33;
+        out[(h % shards as u64) as usize].push(TrajectoryId(id));
+    }
+    out
+}
+
+/// Assigns trajectories to shards by sorting centroids along the
+/// Z-order curve and cutting the sorted run into `shards` nearly-equal
+/// contiguous chunks. Each chunk is then re-sorted by id so local id
+/// order matches global id order.
+fn spatial_assign(dataset: &Dataset, shards: usize) -> Vec<Vec<TrajectoryId>> {
+    let bounds = dataset.bounds();
+    let norm = |v: f64, lo: f64, extent: f64| -> u32 {
+        if extent <= 0.0 {
+            return 0;
+        }
+        (((v - lo) / extent).clamp(0.0, 1.0) * f64::from(u16::MAX)) as u32
+    };
+    let mut keyed: Vec<(u64, TrajectoryId)> = dataset
+        .trajectories()
+        .iter()
+        .map(|tr| {
+            let c = centroid(tr.points.iter().map(|p| p.loc));
+            let code = morton_encode(
+                norm(c.x, bounds.min.x, bounds.width()),
+                norm(c.y, bounds.min.y, bounds.height()),
+            );
+            (code, tr.id)
+        })
+        .collect();
+    keyed.sort_unstable_by_key(|&(code, id)| (code, id));
+    let n = keyed.len();
+    let (base, extra) = (n / shards, n % shards);
+    let mut out = Vec::with_capacity(shards);
+    let mut cursor = 0usize;
+    for s in 0..shards {
+        let take = base + usize::from(s < extra);
+        let mut members: Vec<TrajectoryId> = keyed[cursor..cursor + take]
+            .iter()
+            .map(|&(_, id)| id)
+            .collect();
+        members.sort_unstable();
+        out.push(members);
+        cursor += take;
+    }
+    out
+}
+
+fn centroid(points: impl Iterator<Item = Point>) -> Point {
+    let (mut x, mut y, mut n) = (0.0f64, 0.0f64, 0usize);
+    for p in points {
+        x += p.x;
+        y += p.y;
+        n += 1;
+    }
+    if n == 0 {
+        Point::new(0.0, 0.0)
+    } else {
+        Point::new(x / n as f64, y / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atsq_types::{ActivitySet, DatasetBuilder, QueryPoint, TrajectoryPoint};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new().without_frequency_ranking();
+        for i in 0..8 {
+            b.observe_activity(&format!("a{i}"));
+        }
+        // Deterministic pseudo-random layout with enough structure for
+        // both partitioners to produce non-trivial shards.
+        let mut x: u64 = 0x5DEECE66D;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..n {
+            let len = 1 + (next() % 4) as usize;
+            let pts = (0..len)
+                .map(|_| {
+                    let px = (next() % 1000) as f64 / 10.0;
+                    let py = (next() % 1000) as f64 / 10.0;
+                    let acts = ActivitySet::from_raw([(next() % 8) as u32, (next() % 8) as u32]);
+                    TrajectoryPoint::new(Point::new(px, py), acts)
+                })
+                .collect();
+            b.push_trajectory(pts);
+        }
+        b.finish().unwrap()
+    }
+
+    fn query(x: f64, y: f64) -> Query {
+        Query::new(vec![
+            QueryPoint::new(Point::new(x, y), ActivitySet::from_raw([0, 1])),
+            QueryPoint::new(Point::new(x + 10.0, y), ActivitySet::from_raw([2])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let d = dataset(50);
+        for partition in [Partition::Hash, Partition::Spatial] {
+            for s in [1usize, 2, 3, 7] {
+                let engine = ShardedEngine::build(&d, s, partition).unwrap();
+                assert_eq!(engine.shard_count(), s);
+                let sizes = engine.shard_sizes();
+                assert_eq!(sizes.iter().sum::<usize>(), d.len());
+                let mut seen = vec![false; d.len()];
+                for shard in &engine.shards {
+                    assert!(
+                        shard.to_global.windows(2).all(|w| w[0] < w[1]),
+                        "membership must ascend for deterministic tie-breaks"
+                    );
+                    for id in &shard.to_global {
+                        assert!(!seen[id.index()], "{id} assigned twice");
+                        seen[id.index()] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+        // Spatial chunks are balanced to within one trajectory.
+        let engine = ShardedEngine::build(&d, 3, Partition::Spatial).unwrap();
+        let sizes = engine.shard_sizes();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn sharded_matches_single_index_exactly() {
+        let d = dataset(60);
+        let single = GatIndex::build(&d).unwrap();
+        for partition in [Partition::Hash, Partition::Spatial] {
+            for s in [1usize, 2, 3, 7] {
+                let engine = ShardedEngine::build(&d, s, partition).unwrap();
+                for q in [query(10.0, 10.0), query(50.0, 80.0)] {
+                    for k in [1usize, 3, 9] {
+                        assert_eq!(
+                            engine.atsq(&q, k),
+                            crate::search::atsq(&single, &d, &q, k),
+                            "ATSQ diverged (S={s}, {partition})"
+                        );
+                        assert_eq!(
+                            engine.oatsq(&q, k),
+                            crate::search::oatsq(&single, &d, &q, k),
+                            "OATSQ diverged (S={s}, {partition})"
+                        );
+                    }
+                    for tau in [5.0f64, 40.0] {
+                        assert_eq!(
+                            engine.atsq_range(&q, tau),
+                            crate::search::atsq_range(&single, &d, &q, tau),
+                            "range ATSQ diverged (S={s}, {partition})"
+                        );
+                        assert_eq!(
+                            engine.oatsq_range(&q, tau),
+                            crate::search::oatsq_range(&single, &d, &q, tau),
+                            "range OATSQ diverged (S={s}, {partition})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_stats_accumulate_and_reset() {
+        let d = dataset(40);
+        let engine = ShardedEngine::build(&d, 4, Partition::Hash).unwrap();
+        let _ = engine.atsq(&query(20.0, 20.0), 5);
+        let stats = engine.per_shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert!(
+            stats.iter().map(|s| s.candidates_retrieved).sum::<u64>() > 0,
+            "{stats:?}"
+        );
+        assert!(
+            engine.per_shard_busy_ns().iter().sum::<u64>() > 0,
+            "searches must accrue busy time"
+        );
+        engine.reset_stats();
+        assert!(engine
+            .per_shard_stats()
+            .iter()
+            .all(|s| s.candidates_retrieved == 0));
+        assert!(engine.per_shard_busy_ns().iter().all(|&ns| ns == 0));
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_and_empty_dataset_works() {
+        let d = dataset(10);
+        assert!(ShardedEngine::build(&d, 0, Partition::Hash).is_err());
+        let empty = DatasetBuilder::new().finish().unwrap();
+        let engine = ShardedEngine::build(&empty, 3, Partition::Spatial).unwrap();
+        assert!(engine.is_empty());
+        let q = Query::new(vec![QueryPoint::new(
+            Point::new(0.0, 0.0),
+            ActivitySet::from_raw([1]),
+        )])
+        .unwrap();
+        assert!(engine.atsq(&q, 3).is_empty());
+        assert!(engine.atsq_range(&q, 10.0).is_empty());
+    }
+}

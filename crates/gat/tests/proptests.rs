@@ -224,3 +224,49 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharding is a pure execution strategy: for any shard count,
+    /// either partitioner, and all four query kinds, the sharded
+    /// engine returns exactly the single-index answer — ids,
+    /// distances and tie-breaks included. This is the Theorem-level
+    /// guarantee behind serving one logical index from S parallel
+    /// shards with a shared k-th-best bound.
+    #[test]
+    fn sharded_engine_equals_single_index(
+        dataset in arb_dataset(),
+        query in arb_query(),
+        k in 1usize..6,
+        tau in 0.0f64..30.0,
+        shards in prop::sample::select(vec![1usize, 2, 3, 7]),
+        spatial in proptest::arbitrary::any::<bool>(),
+    ) {
+        use atsq_gat::{Partition, ShardedEngine};
+        let partition = if spatial { Partition::Spatial } else { Partition::Hash };
+        let single = GatIndex::build(&dataset).expect("single index");
+        let engine = ShardedEngine::build(&dataset, shards, partition)
+            .expect("sharded engine");
+        prop_assert_eq!(
+            engine.atsq(&query, k),
+            atsq_gat::atsq(&single, &dataset, &query, k),
+            "ATSQ diverged (S={}, {})", shards, partition
+        );
+        prop_assert_eq!(
+            engine.oatsq(&query, k),
+            atsq_gat::oatsq(&single, &dataset, &query, k),
+            "OATSQ diverged (S={}, {})", shards, partition
+        );
+        prop_assert_eq!(
+            engine.atsq_range(&query, tau),
+            atsq_gat::atsq_range(&single, &dataset, &query, tau),
+            "range ATSQ diverged (S={}, {})", shards, partition
+        );
+        prop_assert_eq!(
+            engine.oatsq_range(&query, tau),
+            atsq_gat::oatsq_range(&single, &dataset, &query, tau),
+            "range OATSQ diverged (S={}, {})", shards, partition
+        );
+    }
+}

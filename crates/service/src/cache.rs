@@ -9,6 +9,26 @@ use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
+/// What happened to an [`LruCache::insert`].
+///
+/// The three non-trivial outcomes were previously conflated into one
+/// `Option<V>` return, making "my old value was replaced", "someone
+/// else's entry was evicted" and "the cache is disabled" impossible to
+/// tell apart at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<K, V> {
+    /// The key was new and there was room; nothing was displaced.
+    Inserted,
+    /// The key already existed; its previous value is returned and the
+    /// entry was refreshed to most-recently-used.
+    Replaced(V),
+    /// The key was new and the cache was full; the least-recently-used
+    /// entry (a *different* key) was evicted to make room.
+    Evicted(K, V),
+    /// The cache has capacity zero; the value was not stored.
+    Dropped(V),
+}
+
 #[derive(Debug)]
 struct Entry<K, V> {
     key: K,
@@ -69,16 +89,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts or refreshes `key`, evicting the least recently used
-    /// entry if the cache is full. Returns the evicted value, if any.
-    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+    /// entry if the cache is full. The [`InsertOutcome`] distinguishes
+    /// replacement, eviction and the capacity-zero drop.
+    pub fn insert(&mut self, key: K, value: V) -> InsertOutcome<K, V> {
         if self.capacity == 0 {
-            return Some(value);
+            return InsertOutcome::Dropped(value);
         }
         if let Some(&slot) = self.map.get(&key) {
             let old = std::mem::replace(&mut self.slab[slot].value, value);
             self.detach(slot);
             self.attach_front(slot);
-            return Some(old);
+            return InsertOutcome::Replaced(old);
         }
         if self.map.len() == self.capacity {
             // Reuse the coldest slot.
@@ -86,11 +107,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.detach(slot);
             let entry = &mut self.slab[slot];
             self.map.remove(&entry.key);
-            entry.key = key.clone();
+            let old_key = std::mem::replace(&mut entry.key, key.clone());
             let old = std::mem::replace(&mut entry.value, value);
             self.map.insert(key, slot);
             self.attach_front(slot);
-            Some(old)
+            InsertOutcome::Evicted(old_key, old)
         } else {
             let slot = self.slab.len();
             self.slab.push(Entry {
@@ -101,7 +122,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             });
             self.map.insert(key, slot);
             self.attach_front(slot);
-            None
+            InsertOutcome::Inserted
         }
     }
 
@@ -165,7 +186,7 @@ mod tests {
         let mut c = LruCache::new(2);
         c.insert("a", 1);
         c.insert("b", 2);
-        assert_eq!(c.insert("a", 10), Some(1)); // refresh a; b coldest
+        assert_eq!(c.insert("a", 10), InsertOutcome::Replaced(1)); // refresh a; b coldest
         c.insert("c", 3); // evicts b
         assert_eq!(c.get(&"a"), Some(&10));
         assert_eq!(c.get(&"b"), None);
@@ -174,9 +195,48 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let mut c = LruCache::new(0);
-        assert_eq!(c.insert("a", 1), Some(1));
+        assert_eq!(c.insert("a", 1), InsertOutcome::Dropped(1));
         assert_eq!(c.get(&"a"), None);
         assert_eq!(c.len(), 0);
+    }
+
+    /// The three formerly conflated `insert` outcomes, told apart.
+    #[test]
+    fn insert_outcomes_are_distinguished() {
+        // Plain insert with room.
+        let mut c = LruCache::new(2);
+        assert_eq!(c.insert("a", 1), InsertOutcome::Inserted);
+        assert_eq!(c.insert("b", 2), InsertOutcome::Inserted);
+
+        // Same-key replacement: NOT an eviction — both keys stay
+        // resident and the cache is unchanged in size.
+        assert_eq!(c.insert("b", 20), InsertOutcome::Replaced(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+
+        // True LRU eviction: a *different* key is displaced, and the
+        // outcome names which one.
+        c.get(&"b"); // refresh b; a is now coldest
+        assert_eq!(c.insert("c", 3), InsertOutcome::Evicted("a", 1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&20));
+        assert_eq!(c.get(&"c"), Some(&3));
+
+        // Capacity-zero drop: the value never entered the cache, so
+        // nothing was replaced or evicted.
+        let mut off: LruCache<&str, i32> = LruCache::new(0);
+        assert_eq!(off.insert("x", 9), InsertOutcome::Dropped(9));
+        assert!(off.is_empty());
+
+        // Replacing into a full cache repeatedly never reports an
+        // eviction (regression: Option<V> made this look identical).
+        let mut c = LruCache::new(1);
+        assert_eq!(c.insert("k", 1), InsertOutcome::Inserted);
+        for v in 2..10 {
+            assert_eq!(c.insert("k", v), InsertOutcome::Replaced(v - 1));
+        }
+        assert_eq!(c.insert("other", 0), InsertOutcome::Evicted("k", 9));
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! The library crates answer one query at a time; this crate turns
 //! them into a server. A [`Service`] owns an `Arc`-shared
-//! [`Dataset`](atsq_types::Dataset) + [`GatEngine`](atsq_core::GatEngine)
-//! (immutable after build, so readers need no locks) and a fixed-size
-//! **worker pool** consuming a **bounded request queue**:
+//! [`Dataset`](atsq_types::Dataset) + [`Engine`](atsq_core::Engine) —
+//! one [`GatEngine`](atsq_core::GatEngine), or a
+//! [`ShardedEngine`](atsq_core::ShardedEngine) when
+//! [`ServiceConfig::shards`] > 1 (immutable after build, so readers
+//! need no locks) — and a fixed-size **worker pool** consuming a
+//! **bounded request queue**:
 //!
 //! ```text
 //!  clients ──submit──▶ BoundedQueue ──pop_batch──▶ workers ──▶ tickets
@@ -72,7 +75,7 @@ mod service;
 pub mod stats;
 pub mod wire;
 
-pub use cache::LruCache;
+pub use cache::{InsertOutcome, LruCache};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{CacheKey, Request, Response};

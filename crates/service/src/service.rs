@@ -4,7 +4,7 @@ use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{CacheKey, Request, Response};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use atsq_core::{run_batch, GatEngine, Profiled, QueryEngine, QueryKind};
+use atsq_core::{run_batch, Engine, GatEngine, Partition, QueryEngine, QueryKind, ShardedEngine};
 use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -32,6 +32,16 @@ pub struct ServiceConfig {
     /// Deadline applied to requests submitted without one. `None`
     /// means such requests never expire.
     pub default_deadline: Option<Duration>,
+    /// Index shards ([`Service::build`] only): `1` serves one
+    /// [`GatEngine`]; above that a [`ShardedEngine`] searches all
+    /// shards in parallel per query. Per-query shard threads multiply
+    /// with `workers` and `batch_threads`: the engine spawns up to
+    /// `min(shards, cores)` threads per query, so when serving a
+    /// sharded engine under saturating load keep `batch_threads` at 1
+    /// to avoid oversubscribing the cores.
+    pub shards: usize,
+    /// How trajectories map to shards when `shards > 1`.
+    pub partition: Partition,
 }
 
 impl Default for ServiceConfig {
@@ -43,6 +53,8 @@ impl Default for ServiceConfig {
             batch_threads: 2,
             cache_capacity: 4096,
             default_deadline: None,
+            shards: 1,
+            partition: Partition::Hash,
         }
     }
 }
@@ -77,7 +89,7 @@ struct Job {
 
 struct Shared {
     dataset: Arc<Dataset>,
-    engine: Arc<GatEngine>,
+    engine: Arc<Engine>,
     queue: BoundedQueue<Job>,
     cache: Mutex<LruCache<CacheKey, Arc<Vec<QueryResult>>>>,
     stats: ServiceStats,
@@ -93,14 +105,24 @@ pub struct Service {
 }
 
 impl Service {
-    /// Builds the GAT index for `dataset` and starts the service.
+    /// Builds the engine for `dataset` — a single GAT index, or a
+    /// [`ShardedEngine`] when `config.shards > 1` — and starts the
+    /// service.
     pub fn build(dataset: Dataset, config: ServiceConfig) -> LibResult<Self> {
-        let engine = GatEngine::build(&dataset)?;
+        let engine = if config.shards > 1 {
+            Engine::Sharded(ShardedEngine::build(
+                &dataset,
+                config.shards,
+                config.partition,
+            )?)
+        } else {
+            Engine::Gat(GatEngine::build(&dataset)?)
+        };
         Ok(Self::start(Arc::new(dataset), Arc::new(engine), config))
     }
 
     /// Starts the worker pool over an existing dataset and engine.
-    pub fn start(dataset: Arc<Dataset>, engine: Arc<GatEngine>, config: ServiceConfig) -> Self {
+    pub fn start(dataset: Arc<Dataset>, engine: Arc<Engine>, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             dataset,
             engine,
@@ -219,11 +241,18 @@ impl ServiceHandle {
         self.submit(request)?.wait().ok_or(SubmitError::Stopped)
     }
 
-    /// Snapshot of the service counters.
+    /// Snapshot of the service counters, including per-shard candidate
+    /// counts when the served engine is sharded. The engine counters
+    /// are read once and the aggregate derived from the per-shard
+    /// pass, so `sum(shard_candidates) == engine.candidates` holds
+    /// even while workers are executing.
     pub fn stats(&self) -> StatsSnapshot {
+        let per_shard = self.shared.engine.per_shard_counters();
+        let shard_candidates = per_shard.iter().map(|c| c.candidates).collect();
+        let engine = atsq_core::EngineCounters::sum(per_shard);
         self.shared
             .stats
-            .snapshot(self.shared.queue.len(), self.shared.engine.counters())
+            .snapshot(self.shared.queue.len(), engine, shard_candidates)
     }
 
     /// The served dataset.
@@ -232,7 +261,7 @@ impl ServiceHandle {
     }
 
     /// The served engine.
-    pub fn engine(&self) -> &Arc<GatEngine> {
+    pub fn engine(&self) -> &Arc<Engine> {
         &self.shared.engine
     }
 }
@@ -340,6 +369,10 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
 
     let mut replies: Vec<Result<Arc<Vec<QueryResult>>, String>> =
         Vec::with_capacity(primaries.len());
+    // Collect this batch's cache inserts and take the cache lock once
+    // after the loop: one lock round-trip per batch instead of one per
+    // executed request keeps the hot path off the mutex.
+    let mut inserts: Vec<(CacheKey, Arc<Vec<QueryResult>>)> = Vec::new();
     for (i, job) in primaries.into_iter().enumerate() {
         let outcome = outcomes[i].take().unwrap_or_else(|| {
             catch_execution(|| execute_single(shared, &job.request)).map(Arc::new)
@@ -347,16 +380,10 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         match &outcome {
             Ok(results) => {
                 shared.stats.record_cache_miss();
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(job.key, results.clone());
-                shared.stats.record_completed(job.enqueued.elapsed());
-                let _ = job.reply.send(Response::Ok {
-                    results: results.clone(),
-                    cached: false,
-                });
+                send_ok(shared, &job, results, false);
+                // The job is consumed here, so the key moves into the
+                // insert list without a clone.
+                inserts.push((job.key, results.clone()));
             }
             Err(panic_msg) => {
                 shared.stats.record_failed();
@@ -367,19 +394,18 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         }
         replies.push(outcome);
     }
+    if !inserts.is_empty() {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for (key, results) in inserts {
+            cache.insert(key, results);
+        }
+    }
 
     for (job, primary) in duplicates {
         match &replies[primary] {
             Ok(results) => {
                 shared.stats.record_coalesced();
-                shared.stats.record_completed(job.enqueued.elapsed());
-                // `cached: false`: the result was computed this batch
-                // (coalesced onto the primary), not served by the LRU —
-                // keeps client-side and server-side hit rates in step.
-                let _ = job.reply.send(Response::Ok {
-                    results: results.clone(),
-                    cached: false,
-                });
+                send_ok(shared, &job, results, false);
             }
             Err(panic_msg) => {
                 shared.stats.record_failed();
@@ -389,6 +415,29 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
             }
         }
     }
+}
+
+/// Sends a successful result, honouring the deadline contract end to
+/// end: admission only catches deadlines that passed while *queued*, so
+/// a deadline that expired during engine execution is re-checked here
+/// and answered [`Response::Expired`] instead of a stale `Ok`. The
+/// result is still cached by the caller — the work was done and future
+/// requests benefit.
+///
+/// `cached` is false for freshly computed results, including ones
+/// coalesced onto an in-batch primary (keeps client-side and
+/// server-side hit rates in step).
+fn send_ok(shared: &Shared, job: &Job, results: &Arc<Vec<QueryResult>>, cached: bool) {
+    if job.deadline.is_some_and(|d| d < Instant::now()) {
+        shared.stats.record_expired();
+        let _ = job.reply.send(Response::Expired);
+        return;
+    }
+    shared.stats.record_completed(job.enqueued.elapsed());
+    let _ = job.reply.send(Response::Ok {
+        results: results.clone(),
+        cached,
+    });
 }
 
 /// Runs engine work, converting a panic into an error string so one
@@ -563,6 +612,92 @@ mod tests {
             .unwrap();
         assert_eq!(resp, Response::Expired);
         assert_eq!(handle.stats().expired, 1);
+        service.shutdown();
+    }
+
+    /// A deadline that is alive at batch admission but passes while the
+    /// engine is executing must be answered `Expired`, not a stale
+    /// `Ok`. A pile of OATSQ primaries in the same batch runs first
+    /// (grouped through `run_batch`), guaranteeing the doomed request's
+    /// short deadline has passed by the time its own execution and
+    /// reply happen.
+    #[test]
+    fn deadline_expiring_during_execution_is_reported() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 0,
+            batch_size: 512,
+            queue_capacity: 512,
+            cache_capacity: 0, // no hits: every filler executes
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let fillers: Vec<Ticket> = (0..120)
+            .map(|i| {
+                let mut query = queries[i % queries.len()].clone();
+                // Perturb so every filler is a distinct primary.
+                query.points[0].loc.x += i as f64 * 1e-9;
+                handle.submit(Request::Oatsq { query, k: 9 }).unwrap()
+            })
+            .collect();
+        let doomed = handle
+            .submit_with_deadline(
+                Request::Atsq {
+                    query: queries[0].clone(),
+                    k: 3,
+                },
+                Some(Duration::from_millis(3)),
+            )
+            .unwrap();
+        service.shared.queue.close();
+        worker_loop(&service.shared);
+        for t in fillers {
+            assert!(t.wait().unwrap().results().is_some());
+        }
+        assert_eq!(doomed.wait().unwrap(), Response::Expired);
+        let snap = handle.stats();
+        assert_eq!(snap.expired, 1);
+        // The doomed request *did* execute (captured as a cache miss):
+        // this is the post-execution deadline check, not admission.
+        assert_eq!(snap.cache_misses, 121);
+        assert_eq!(snap.completed, 120);
+    }
+
+    /// A sharded service answers byte-identically to the single-index
+    /// engine and reports per-shard candidate counts.
+    #[test]
+    fn sharded_service_matches_single_index() {
+        let dataset = generate(&CityConfig::tiny(23)).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 6);
+        let single = atsq_core::GatEngine::build(&dataset).unwrap();
+        let service = Service::build(
+            dataset.clone(),
+            ServiceConfig {
+                workers: 2,
+                shards: 4,
+                partition: Partition::Spatial,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = service.handle();
+        assert!(matches!(handle.engine().as_ref(), Engine::Sharded(_)));
+        for q in &queries {
+            let via_service = handle
+                .call(Request::Atsq {
+                    query: q.clone(),
+                    k: 5,
+                })
+                .unwrap();
+            let direct = single.atsq(&dataset, q, 5);
+            assert_eq!(via_service.results().unwrap(), direct.as_slice());
+        }
+        let snap = handle.stats();
+        assert_eq!(snap.shard_candidates.len(), 4);
+        assert!(snap.shard_candidates.iter().sum::<u64>() > 0, "{snap:?}");
+        assert_eq!(
+            snap.shard_candidates.iter().sum::<u64>(),
+            snap.engine.candidates
+        );
         service.shutdown();
     }
 

@@ -28,6 +28,11 @@ pub struct ServiceStats {
     batched_requests: AtomicU64,
     /// Histogram of end-to-end (enqueue → reply) latency in µs.
     latency_us: [AtomicU64; BUCKETS],
+    /// `(uptime µs, completion count)` at the previous snapshot —
+    /// behind one mutex so concurrent snapshot takers cannot pair one
+    /// caller's time window with another's completion window.
+    /// Snapshots are a cold path; the hot-path counters stay lock-free.
+    window: std::sync::Mutex<(u64, u64)>,
 }
 
 impl Default for ServiceStats {
@@ -45,6 +50,7 @@ impl Default for ServiceStats {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            window: std::sync::Mutex::new((0, 0)),
         }
     }
 }
@@ -102,7 +108,19 @@ impl ServiceStats {
 
     /// Consistent-enough snapshot of every counter (individual loads
     /// are atomic; the set is not, which is fine for monitoring).
-    pub fn snapshot(&self, queue_depth: usize, engine: EngineCounters) -> StatsSnapshot {
+    ///
+    /// The reported `qps` is **windowed**: completions since the
+    /// previous snapshot divided by the time since it (the first
+    /// snapshot's window starts at service start). A lifetime average
+    /// would be permanently deflated by any idle period. Concurrent
+    /// snapshot takers share one window, so a given consumer sees the
+    /// rate since *someone* last looked — the usual scrape model.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        engine: EngineCounters,
+        shard_candidates: Vec<u64>,
+    ) -> StatsSnapshot {
         let hist: Vec<u64> = self
             .latency_us
             .iter()
@@ -110,6 +128,13 @@ impl ServiceStats {
             .collect();
         let completed = self.completed.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
+        let now_us = uptime.as_micros() as u64;
+        let (window_start_us, window_completed) = {
+            let mut w = self.window.lock().expect("stats window");
+            std::mem::replace(&mut *w, (now_us, completed))
+        };
+        let window_s = now_us.saturating_sub(window_start_us) as f64 / 1e6;
+        let window_delta = completed.saturating_sub(window_completed);
         StatsSnapshot {
             uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -122,12 +147,13 @@ impl ServiceStats {
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            qps: window_delta as f64 / window_s.max(1e-6),
             p50_ms: percentile_ms(&hist, 0.50),
             p90_ms: percentile_ms(&hist, 0.90),
             p99_ms: percentile_ms(&hist, 0.99),
             queue_depth,
             engine,
+            shard_candidates,
         }
     }
 }
@@ -177,7 +203,8 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests across all drained batches.
     pub batched_requests: u64,
-    /// Completed requests per second of uptime.
+    /// Completed requests per second **since the previous snapshot**
+    /// (not a lifetime average — idle periods don't deflate it).
     pub qps: f64,
     /// Median enqueue→reply latency (log-bucket approximation).
     pub p50_ms: f64,
@@ -189,6 +216,9 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Work counters of the underlying engine.
     pub engine: EngineCounters,
+    /// Candidate counts per shard — one entry per shard for a sharded
+    /// engine, a single aggregate entry otherwise.
+    pub shard_candidates: Vec<u64>,
 }
 
 impl StatsSnapshot {
@@ -236,7 +266,12 @@ impl fmt::Display for StatsSnapshot {
             self.failed,
             self.mean_batch_size(),
             self.engine.distance_evals
-        )
+        )?;
+        if self.shard_candidates.len() > 1 {
+            let counts: Vec<String> = self.shard_candidates.iter().map(u64::to_string).collect();
+            write!(f, "\nshard candidates [{}]", counts.join(", "))?;
+        }
+        Ok(())
     }
 }
 
@@ -255,7 +290,7 @@ mod tests {
         s.record_cache_miss();
         s.record_batch(5);
         s.record_completed(Duration::from_micros(800));
-        let snap = s.snapshot(3, EngineCounters::default());
+        let snap = s.snapshot(3, EngineCounters::default(), vec![0]);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.expired, 1);
@@ -280,7 +315,7 @@ mod tests {
         for _ in 0..10 {
             s.record_completed(Duration::from_millis(500));
         }
-        let snap = s.snapshot(0, EngineCounters::default());
+        let snap = s.snapshot(0, EngineCounters::default(), vec![0]);
         assert!(snap.p50_ms < 4.0, "p50 {}", snap.p50_ms);
         assert!(snap.p99_ms > 100.0, "p99 {}", snap.p99_ms);
         assert!(snap.p50_ms <= snap.p90_ms && snap.p90_ms <= snap.p99_ms);
@@ -289,9 +324,45 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         let s = ServiceStats::default();
-        let snap = s.snapshot(0, EngineCounters::default());
+        let snap = s.snapshot(0, EngineCounters::default(), vec![0]);
         assert_eq!(snap.p50_ms, 0.0);
         assert_eq!(snap.cache_hit_rate(), 0.0);
         assert_eq!(snap.mean_batch_size(), 0.0);
+    }
+
+    /// The regression the windowed rate fixes: an idle stretch between
+    /// two snapshots must not drag the reported QPS toward zero, and
+    /// work after the idle period is rated against the recent window
+    /// only.
+    #[test]
+    fn qps_is_windowed_not_lifetime() {
+        let s = ServiceStats::default();
+        for _ in 0..50 {
+            s.record_completed(Duration::from_micros(100));
+        }
+        let first = s.snapshot(0, EngineCounters::default(), vec![0]);
+        assert!(first.qps > 0.0);
+        // Idle period, then one snapshot: zero completions in window.
+        std::thread::sleep(Duration::from_millis(30));
+        let idle = s.snapshot(0, EngineCounters::default(), vec![0]);
+        assert_eq!(idle.qps, 0.0, "no completions since last snapshot");
+        // A burst right after the idle window rates against the short
+        // recent window, not lifetime uptime: 50 completions within a
+        // few ms must report far more than the lifetime average a
+        // 30 ms idle stretch would produce (≤ ~1650/s here).
+        for _ in 0..50 {
+            s.record_completed(Duration::from_micros(100));
+        }
+        let burst = s.snapshot(0, EngineCounters::default(), vec![0]);
+        let lifetime = burst.completed as f64 / burst.uptime.as_secs_f64();
+        assert!(
+            burst.qps > lifetime,
+            "windowed {} should beat lifetime {}",
+            burst.qps,
+            lifetime
+        );
+        // Display mentions per-shard candidates only when sharded.
+        let sharded = s.snapshot(0, EngineCounters::default(), vec![3, 4]);
+        assert!(sharded.to_string().contains("shard candidates [3, 4]"));
     }
 }

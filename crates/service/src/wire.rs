@@ -258,6 +258,15 @@ pub fn encode_stats(snap: &StatsSnapshot) -> Value {
             "distance_evals",
             Value::Num(snap.engine.distance_evals as f64),
         ),
+        (
+            "shard_candidates",
+            Value::Arr(
+                snap.shard_candidates
+                    .iter()
+                    .map(|&c| Value::Num(c as f64))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
