@@ -2,7 +2,10 @@
 
 use crate::args::parse;
 use crate::CliError;
-use atsq_core::{matching, Engine, GatEngine, Partition, QueryEngine, ShardedEngine};
+use atsq_core::{
+    matching, snapshot, CacheOutcome, Engine, GatEngine, IndexCache, Partition, QueryEngine,
+    ShardedEngine,
+};
 use atsq_datagen::CityConfig;
 use atsq_service::{LoadgenConfig, Server, Service, ServiceConfig};
 use atsq_types::{ActivitySet, Dataset, Point, Query, QueryPoint};
@@ -198,6 +201,7 @@ pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "stop",
             "shards",
             "partition",
+            "index-cache",
         ],
         &["ordered", "witness"],
     )?;
@@ -211,13 +215,22 @@ pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let query = Query::new(points?)?;
     let (shards, partition) = parse_sharding(&f)?;
     let engine_name = f.get("engine").unwrap_or("gat");
-    let engine = if shards > 1 {
-        if engine_name != "gat" {
-            return Err(CliError::Usage(
-                "--shards only applies to the default gat engine".into(),
-            ));
+    let cache = f.get("index-cache").map(IndexCache::new);
+    if cache.is_some() && engine_name != "gat" {
+        return Err(CliError::Usage(
+            "--index-cache only applies to the default gat engine".into(),
+        ));
+    }
+    let engine = if shards > 1 && engine_name != "gat" {
+        return Err(CliError::Usage(
+            "--shards only applies to the default gat engine".into(),
+        ));
+    } else if shards > 1 || cache.is_some() {
+        let (engine, outcome) = Engine::build_gat(&dataset, shards, partition, cache.as_ref())?;
+        if let Some(outcome) = outcome {
+            writeln!(out, "{}", describe_outcome(&outcome))?;
         }
-        Engine::Sharded(ShardedEngine::build(&dataset, shards, partition)?)
+        engine
     } else {
         build_engine(&dataset, engine_name)?
     };
@@ -275,6 +288,89 @@ pub fn query(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `atsq index build` / `atsq index inspect` — manage persistent GAT
+/// index snapshots so `atsq serve` / `atsq query` can cold-start
+/// without rebuilding the index.
+pub fn index(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(action) = argv.first() else {
+        return Err(CliError::Usage(
+            "`atsq index` needs an action: build or inspect".into(),
+        ));
+    };
+    match action.as_str() {
+        "build" => index_build(&argv[1..], out),
+        "inspect" => index_inspect(&argv[1..], out),
+        other => Err(CliError::Usage(format!(
+            "unknown index action `{other}` (expected build or inspect)"
+        ))),
+    }
+}
+
+fn index_build(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["data", "cache", "shards", "partition"], &[])?;
+    let dataset = load_dataset(f.require("data")?)?;
+    let cache = IndexCache::new(f.require("cache")?);
+    let (shards, partition) = parse_sharding(&f)?;
+    let hash = dataset.content_hash();
+    let t0 = Instant::now();
+    let paths = if shards > 1 {
+        let engine = ShardedEngine::build(&dataset, shards, partition)?;
+        cache.save_sharded(&dataset, &engine)?
+    } else {
+        let index = atsq_core::GatIndex::build(&dataset)?;
+        vec![cache.save_index(&dataset, &index)?]
+    };
+    let built_ms = t0.elapsed().as_secs_f64() * 1e3;
+    writeln!(
+        out,
+        "built and snapshotted the index for dataset {hash:016x} in {built_ms:.0} ms"
+    )?;
+    for p in &paths {
+        writeln!(out, "  wrote {}", p.display())?;
+    }
+    writeln!(
+        out,
+        "serve it with: atsq serve --data <snapshot> --index-cache {}",
+        cache.dir().display()
+    )?;
+    Ok(())
+}
+
+fn index_inspect(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["cache"], &[])?;
+    let cache = IndexCache::new(f.require("cache")?);
+    let entries = cache.entries()?;
+    if entries.is_empty() {
+        writeln!(out, "no snapshots in {}", cache.dir().display())?;
+        return Ok(());
+    }
+    for path in entries {
+        match snapshot::inspect(&path) {
+            Ok(info) => writeln!(
+                out,
+                "{}  kind {}  v{}  dataset {:016x}  payload {} bytes",
+                path.display(),
+                info.kind,
+                info.version,
+                info.dataset_hash,
+                info.payload_bytes
+            )?,
+            Err(e) => writeln!(out, "{}  INVALID: {e}", path.display())?,
+        }
+    }
+    Ok(())
+}
+
+/// Renders a cache outcome for the operator: did this start load a
+/// snapshot, or (partially) build? The `Rebuilt` string is already a
+/// complete account of what happened — rendered verbatim.
+fn describe_outcome(outcome: &CacheOutcome) -> &str {
+    match outcome {
+        CacheOutcome::Loaded => "loaded index snapshot",
+        CacheOutcome::Rebuilt(why) => why,
+    }
+}
+
 /// `atsq bench` — quick per-engine timing on a snapshot.
 pub fn bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let f = parse(argv, &["data", "queries", "k"], &[])?;
@@ -318,6 +414,7 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "duration-s",
             "shards",
             "partition",
+            "index-cache",
         ],
         &[],
     )?;
@@ -336,11 +433,17 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         },
         shards,
         partition,
+        index_cache: f.get("index-cache").map(std::path::PathBuf::from),
     };
     let duration_s: u64 = f.num("duration-s", 0)?;
     let n = dataset.len();
     let workers = config.workers;
-    let service = Service::build(dataset, config)?;
+    let t0 = Instant::now();
+    let (service, outcome) = Service::build_with_outcome(dataset, config)?;
+    let startup_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(outcome) = &outcome {
+        writeln!(out, "{} in {startup_ms:.0} ms", describe_outcome(outcome))?;
+    }
     let server = Server::bind(service.handle(), f.get("addr").unwrap_or("127.0.0.1:7878"))
         .map_err(CliError::Io)?;
     let sharding = if shards > 1 {
@@ -640,6 +743,188 @@ u2,34.10,-118.30,20,hiking with a view
         )
         .is_err());
         std::fs::remove_file(snap).ok();
+    }
+
+    /// The index-cache workflow end to end: `index build` writes
+    /// snapshots, `index inspect` lists them, `query --index-cache`
+    /// loads them and answers exactly like a cache-less run (single
+    /// and sharded), and corrupting a snapshot degrades to a rebuild.
+    #[test]
+    fn index_cache_workflow_roundtrip() {
+        let dir = std::env::temp_dir().join("atsq_cli_test_idxcache");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("city.atsq");
+        let snap = snap.to_str().unwrap();
+        let cache = dir.join("cache");
+        let cache = cache.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--seed", "7", "--out", snap]);
+        let dataset = load_dataset(snap).unwrap();
+        let name = dataset
+            .vocabulary()
+            .name(atsq_types::ActivityId(0))
+            .unwrap();
+        let stop = format!("10.0,10.0:{name}");
+        let plain = run_ok(&["query", "--data", snap, "--stop", &stop, "--k", "5"]);
+
+        // Build snapshots for the single index and a 2-shard layout.
+        let msg = run_ok(&["index", "build", "--data", snap, "--cache", cache]);
+        assert!(msg.contains("snapshotted"), "{msg}");
+        let msg = run_ok(&[
+            "index", "build", "--data", snap, "--cache", cache, "--shards", "2",
+        ]);
+        assert!(msg.contains("snapshotted"), "{msg}");
+        let listing = run_ok(&["index", "inspect", "--cache", cache]);
+        assert!(listing.contains("kind index"), "{listing}");
+        assert!(listing.contains("kind manifest"), "{listing}");
+        assert_eq!(listing.lines().count(), 4, "index + manifest + 2 shards");
+
+        // Cached queries load the snapshot and answer identically.
+        let cached = run_ok(&[
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "5",
+            "--index-cache",
+            cache,
+        ]);
+        assert!(cached.contains("loaded index snapshot"), "{cached}");
+        assert_eq!(cached.replace("loaded index snapshot\n", ""), plain);
+        let sharded = run_ok(&[
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "5",
+            "--shards",
+            "2",
+            "--index-cache",
+            cache,
+        ]);
+        assert!(sharded.contains("loaded index snapshot"), "{sharded}");
+        assert_eq!(
+            sharded.replace("loaded index snapshot\n", ""),
+            plain.replace("[GAT]", "[GAT-SHARDED]")
+        );
+
+        // Corrupt the single-index snapshot: the query falls back to a
+        // fresh build, same answers, and repairs the snapshot.
+        let idx_file = std::fs::read_dir(cache)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                p.extension().is_some_and(|e| e == "idx")
+                    && !p.file_name().unwrap().to_str().unwrap().contains("shard")
+            })
+            .unwrap();
+        let mut bytes = std::fs::read(&idx_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&idx_file, &bytes).unwrap();
+        let rebuilt = run_ok(&[
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "5",
+            "--index-cache",
+            cache,
+        ]);
+        assert!(rebuilt.contains("built index fresh"), "{rebuilt}");
+        assert!(rebuilt.contains("checksum"), "{rebuilt}");
+        assert!(rebuilt.ends_with(plain.as_str()), "{rebuilt}");
+        let again = run_ok(&[
+            "query",
+            "--data",
+            snap,
+            "--stop",
+            &stop,
+            "--k",
+            "5",
+            "--index-cache",
+            cache,
+        ]);
+        assert!(again.contains("loaded index snapshot"), "{again}");
+
+        // --index-cache with a baseline engine is a usage error.
+        let mut out = Vec::new();
+        assert!(run(
+            &sv(&[
+                "query",
+                "--data",
+                snap,
+                "--stop",
+                &stop,
+                "--engine",
+                "il",
+                "--index-cache",
+                cache
+            ]),
+            &mut out
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve --index-cache` restarts from the snapshot and still
+    /// verifies under load.
+    #[test]
+    fn serve_with_index_cache_restarts_fast_and_verifies() {
+        let dir = std::env::temp_dir().join("atsq_cli_test_servecache");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("city.atsq");
+        let snap = snap.to_str().unwrap();
+        let cache = dir.join("cache");
+        run_ok(&["generate", "--city", "tiny", "--seed", "13", "--out", snap]);
+        let dataset = load_dataset(snap).unwrap();
+        run_ok(&[
+            "index",
+            "build",
+            "--data",
+            snap,
+            "--cache",
+            cache.to_str().unwrap(),
+            "--shards",
+            "2",
+        ]);
+
+        let config = ServiceConfig {
+            workers: 2,
+            shards: 2,
+            index_cache: Some(cache.clone()),
+            ..ServiceConfig::default()
+        };
+        let service = Service::build(dataset.clone(), config).unwrap();
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let report = run_ok(&[
+            "loadgen",
+            "--data",
+            snap,
+            "--addr",
+            &addr,
+            "--concurrency",
+            "4",
+            "--requests",
+            "60",
+            "--pool",
+            "10",
+            "--k",
+            "5",
+            "--verify",
+        ]);
+        assert!(report.contains("incorrect 0"), "{report}");
+        server.stop();
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -59,12 +59,15 @@ USAGE:
   atsq query    --data FILE [--engine gat|gat-paged|il|rt|irt] [--k N]
                 [--ordered] [--range TAU] --stop \"x,y:act1;act2\"
                 [--stop ...] [--witness] [--shards S]
+                [--partition hash|spatial] [--index-cache DIR]
+  atsq index    build --data FILE --cache DIR [--shards S]
                 [--partition hash|spatial]
+  atsq index    inspect --cache DIR
   atsq bench    --data FILE [--queries N] [--k N]
   atsq serve    --data FILE [--addr HOST:PORT] [--workers N]
                 [--queue N] [--batch N] [--batch-threads N] [--cache N]
                 [--deadline-ms MS] [--duration-s S] [--shards S]
-                [--partition hash|spatial]
+                [--partition hash|spatial] [--index-cache DIR]
   atsq loadgen  --data FILE --addr HOST:PORT [--concurrency N]
                 [--requests N] [--k N] [--pool N] [--zipf S]
                 [--query-points N] [--acts-per-point N] [--seed N]
@@ -77,6 +80,12 @@ fifth column is free text and activities are mined from it.
 --shards S > 1 partitions the dataset into S GAT shards (hash or
 spatial partitioner) searched in parallel with a shared k-th-best
 pruning bound; results are identical to a single index.
+
+--index-cache DIR reads/writes persistent index snapshots keyed by the
+dataset's content hash: `atsq index build` pre-builds them, and `atsq
+serve --index-cache DIR` then cold-starts by *loading* the index
+instead of rebuilding it (answers are identical). A stale, corrupt or
+missing snapshot silently falls back to a fresh build and re-saves.
 
 `serve` answers newline-delimited JSON over TCP, e.g.
   {\"op\":\"atsq\",\"k\":5,\"stops\":[{\"x\":12.0,\"y\":7.5,\"acts\":[\"coffee\"]}]}
@@ -95,6 +104,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "import" => commands::import(rest, out),
         "stats" => commands::stats(rest, out),
         "query" => commands::query(rest, out),
+        "index" => commands::index(rest, out),
         "bench" => commands::bench(rest, out),
         "serve" => commands::serve(rest, out),
         "loadgen" => commands::loadgen(rest, out),

@@ -53,7 +53,10 @@ pub mod batch;
 pub mod profile;
 
 pub use atsq_baselines::{IlEngine, IrtEngine, RtEngine};
-pub use atsq_gat::{GatConfig, GatIndex, PagedAplConfig, PagedBacking, Partition, ShardedEngine};
+pub use atsq_gat::{
+    snapshot, CacheOutcome, GatConfig, GatIndex, IndexCache, PagedAplConfig, PagedBacking,
+    Partition, ShardedEngine,
+};
 pub use atsq_matching as matching;
 pub use atsq_types as types;
 pub use batch::{run_batch, QueryKind};
@@ -120,6 +123,11 @@ impl GatEngine {
         Ok(GatEngine {
             index: GatIndex::build_paged(dataset, config, apl_config)?,
         })
+    }
+
+    /// Wraps an already built (or snapshot-loaded) index.
+    pub fn from_index(index: GatIndex) -> Self {
+        GatEngine { index }
     }
 
     /// The underlying index (stats, memory reports).
@@ -244,6 +252,39 @@ pub enum Engine {
 }
 
 impl Engine {
+    /// Builds the serving engine — a single [`GatEngine`], or a
+    /// [`ShardedEngine`] when `shards > 1` — optionally through a
+    /// persistent [`IndexCache`]. With a cache, a valid snapshot keyed
+    /// by the dataset's content hash is *loaded* (answers are
+    /// byte-identical to a fresh build); a missing, stale or corrupt
+    /// snapshot triggers a fresh build whose snapshot is saved for the
+    /// next start. Returns the engine plus the cache outcome (`None`
+    /// when no cache was used).
+    pub fn build_gat(
+        dataset: &Dataset,
+        shards: usize,
+        partition: Partition,
+        cache: Option<&IndexCache>,
+    ) -> Result<(Engine, Option<CacheOutcome>)> {
+        let config = GatConfig::default();
+        match (cache, shards > 1) {
+            (None, false) => Ok((Engine::Gat(GatEngine::build(dataset)?), None)),
+            (None, true) => Ok((
+                Engine::Sharded(ShardedEngine::build(dataset, shards, partition)?),
+                None,
+            )),
+            (Some(cache), false) => {
+                let (index, outcome) = cache.load_or_build(dataset, config)?;
+                Ok((Engine::Gat(GatEngine::from_index(index)), Some(outcome)))
+            }
+            (Some(cache), true) => {
+                let (engine, outcome) =
+                    cache.load_or_build_sharded(dataset, shards, partition, config)?;
+                Ok((Engine::Sharded(engine), Some(outcome)))
+            }
+        }
+    }
+
     /// Builds every engine for a dataset, in the paper's order
     /// (IL, RT, IRT, GAT).
     pub fn build_all(dataset: &Dataset) -> Result<Vec<Engine>> {
@@ -337,6 +378,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn build_gat_through_cache_matches_direct_build() {
+        let dataset = generate(&CityConfig::tiny(29)).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 4);
+        let dir = std::env::temp_dir().join(format!("atsq-core-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = IndexCache::new(&dir);
+        for shards in [1usize, 3] {
+            let (direct, outcome) =
+                Engine::build_gat(&dataset, shards, Partition::Hash, None).unwrap();
+            assert!(outcome.is_none());
+            let (cold, outcome) =
+                Engine::build_gat(&dataset, shards, Partition::Hash, Some(&cache)).unwrap();
+            assert!(!outcome.unwrap().loaded(), "cold cache must build");
+            let (warm, outcome) =
+                Engine::build_gat(&dataset, shards, Partition::Hash, Some(&cache)).unwrap();
+            assert!(outcome.unwrap().loaded(), "warm cache must load");
+            for q in &queries {
+                let want = direct.atsq(&dataset, q, 5);
+                assert_eq!(cold.atsq(&dataset, q, 5), want);
+                assert_eq!(warm.atsq(&dataset, q, 5), want);
+                let want = direct.oatsq_range(&dataset, q, 40.0);
+                assert_eq!(warm.oatsq_range(&dataset, q, 40.0), want);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -56,6 +56,18 @@ impl TrajectoryPostings {
         self.lists.values().map(Vec::len).sum()
     }
 
+    /// The largest point index any posting references, `None` when the
+    /// lists are empty (lists are ascending, so only last elements are
+    /// inspected). The snapshot loader uses it to reject decoded
+    /// postings pointing outside their trajectory.
+    pub fn max_position(&self) -> Option<u32> {
+        self.lists
+            .values()
+            .filter_map(|list| list.last())
+            .copied()
+            .max()
+    }
+
     /// Serializes the posting lists for the paged backend:
     /// `[n_lists][per list: activity id, delta-coded indexes]`, lists
     /// ascending by activity id so the encoding is deterministic.
@@ -128,6 +140,40 @@ impl Apl {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.per_trajectory.is_empty()
+    }
+
+    /// Serializes the table: one length-prefixed
+    /// [`TrajectoryPostings::to_bytes`] record per trajectory, in
+    /// index order.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use atsq_storage::codec::put_varint;
+        put_varint(out, self.per_trajectory.len() as u32);
+        for t in &self.per_trajectory {
+            let bytes = t.to_bytes();
+            put_varint(out, bytes.len() as u32);
+            out.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Decodes [`Apl::encode`] output from `buf[*pos..]`, advancing
+    /// `pos`. `None` on truncation or a record that fails to decode.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use atsq_storage::codec::get_varint;
+        let n = get_varint(buf, pos)? as usize;
+        if n > buf.len().saturating_sub(*pos) {
+            return None; // each record costs at least one byte
+        }
+        let mut per_trajectory = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = get_varint(buf, pos)? as usize;
+            let end = pos.checked_add(len)?;
+            if end > buf.len() {
+                return None;
+            }
+            per_trajectory.push(TrajectoryPostings::from_bytes(&buf[*pos..end])?);
+            *pos = end;
+        }
+        Some(Apl { per_trajectory })
     }
 
     /// Simulated on-disk footprint: 4 bytes per posting plus 8 per
@@ -229,6 +275,33 @@ mod tests {
         let mut extra = bytes.clone();
         extra.push(0);
         assert!(TrajectoryPostings::from_bytes(&extra).is_none());
+    }
+
+    #[test]
+    fn apl_encode_decode_roundtrip() {
+        let t0 = tr(vec![(0.0, &[1, 2]), (1.0, &[2])]);
+        let t1 = tr(vec![(0.0, &[7])]);
+        let t2 = tr(vec![]);
+        let apl = Apl::build([&t0, &t1, &t2]);
+        let mut buf = Vec::new();
+        apl.encode(&mut buf);
+        let mut pos = 0;
+        let q = Apl::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(q.len(), 3);
+        for idx in 0..3 {
+            for a in [1u32, 2, 7, 9] {
+                assert_eq!(
+                    apl.trajectory(idx).postings(ActivityId(a)),
+                    q.trajectory(idx).postings(ActivityId(a)),
+                    "trajectory {idx} activity {a}"
+                );
+            }
+        }
+        // Truncation fails cleanly at every prefix.
+        for cut in 0..buf.len() {
+            assert!(Apl::decode(&buf[..cut], &mut 0).is_none(), "cut={cut}");
+        }
     }
 
     #[test]

@@ -154,6 +154,70 @@ impl Hicl {
         self.lists.len()
     }
 
+    /// Serializes the full structure (every activity's per-level cell
+    /// lists), activities in ascending id order so the encoding is
+    /// deterministic. The reverse `by_cell` map is derived data and is
+    /// rebuilt on decode.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use atsq_storage::codec::{put_ascending_u64, put_varint};
+        out.push(self.levels);
+        let mut acts: Vec<ActivityId> = self.lists.keys().copied().collect();
+        acts.sort_unstable();
+        put_varint(out, acts.len() as u32);
+        for a in acts {
+            put_varint(out, a.0);
+            for level in &self.lists[&a] {
+                put_ascending_u64(out, level);
+            }
+        }
+    }
+
+    /// Decodes [`Hicl::encode`] output from `buf[*pos..]`, advancing
+    /// `pos`. `None` on truncation or any violated invariant (zero
+    /// levels, duplicate activities, non-ascending cell lists) — a
+    /// corrupt snapshot must surface as an error, never as an index
+    /// that silently answers differently.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use atsq_storage::codec::{get_ascending_u64, get_varint};
+        let levels = *buf.get(*pos)?;
+        *pos += 1;
+        if levels == 0 || levels > atsq_grid::Grid::MAX_SUPPORTED_LEVEL {
+            return None;
+        }
+        let n = get_varint(buf, pos)? as usize;
+        let mut lists: HashMap<ActivityId, Vec<Vec<u64>>> = HashMap::with_capacity(n.min(1 << 16));
+        let mut by_cell: Vec<HashMap<u64, ActivitySet>> =
+            (0..levels).map(|_| HashMap::new()).collect();
+        for _ in 0..n {
+            let act = ActivityId(get_varint(buf, pos)?);
+            let mut per_level = Vec::with_capacity(levels as usize);
+            for (l, cells) in by_cell.iter_mut().enumerate().take(levels as usize) {
+                let codes = get_ascending_u64(buf, pos)?;
+                // Lists are sorted + deduped, i.e. strictly ascending.
+                if codes.windows(2).any(|w| w[0] >= w[1]) {
+                    return None;
+                }
+                // Codes must be valid Morton codes for their level.
+                let max_code = 1u128 << (2 * (l as u32 + 1));
+                if codes.iter().any(|&c| u128::from(c) >= max_code) {
+                    return None;
+                }
+                for &c in &codes {
+                    cells.entry(c).or_default().insert(act);
+                }
+                per_level.push(codes);
+            }
+            if lists.insert(act, per_level).is_some() {
+                return None; // duplicate activity entry
+            }
+        }
+        Some(Hicl {
+            lists,
+            by_cell,
+            levels,
+        })
+    }
+
     /// Iterates `(cell code, activity set)` over the occupied cells at
     /// `level` (1-based), in unspecified order. Used to materialise
     /// the cold levels onto pages.
@@ -257,6 +321,64 @@ mod tests {
         assert_eq!(h.memory_bytes(2), 32);
         // Clamps beyond depth.
         assert_eq!(h.memory_bytes(10), 32);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = Hicl::build(
+            3,
+            vec![
+                (ActivityId(1), leaf(3, 5, 2)),
+                (ActivityId(1), leaf(3, 0, 0)),
+                (ActivityId(7), leaf(3, 7, 7)),
+            ],
+        );
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let mut pos = 0;
+        let q = Hicl::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(q.levels(), 3);
+        assert_eq!(q.activity_count(), 2);
+        for level in 1..=3u8 {
+            for act in [ActivityId(1), ActivityId(7), ActivityId(9)] {
+                assert_eq!(
+                    h.cells_with_activity(level, act),
+                    q.cells_with_activity(level, act)
+                );
+            }
+        }
+        // The rebuilt reverse map answers like the original.
+        assert_eq!(
+            h.cell_activities(leaf(3, 5, 2)),
+            q.cell_activities(leaf(3, 5, 2))
+        );
+        assert_eq!(
+            h.cell_activities(leaf(1, 0, 0)),
+            q.cell_activities(leaf(1, 0, 0))
+        );
+        // Deterministic bytes.
+        let mut again = Vec::new();
+        h.encode(&mut again);
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let h = Hicl::build(2, vec![(ActivityId(3), leaf(2, 1, 1))]);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // Truncation at every prefix fails rather than panics.
+        for cut in 0..buf.len() {
+            assert!(Hicl::decode(&buf[..cut], &mut 0).is_none(), "cut={cut}");
+        }
+        // Zero or absurd level counts are rejected.
+        let mut zero = buf.clone();
+        zero[0] = 0;
+        assert!(Hicl::decode(&zero, &mut 0).is_none());
+        let mut deep = buf.clone();
+        deep[0] = 200;
+        assert!(Hicl::decode(&deep, &mut 0).is_none());
     }
 
     #[test]

@@ -75,6 +75,30 @@ impl GatIndex {
         self
     }
 
+    /// Reassembles an index from deserialized components (the snapshot
+    /// loader's constructor). The caller — [`crate::snapshot`] — has
+    /// already validated cross-component consistency; the result uses
+    /// the in-memory APL backend and fresh I/O counters.
+    pub(crate) fn from_parts(
+        config: GatConfig,
+        grid: Grid,
+        hicl: Hicl,
+        itl: Itl,
+        tas: Tas,
+        apl: crate::apl::Apl,
+    ) -> Self {
+        GatIndex {
+            config,
+            grid,
+            hicl,
+            itl,
+            tas,
+            apl: AplStorage::Memory(apl),
+            cold_hicl: None,
+            stats: IoStats::new(),
+        }
+    }
+
     /// Builds the index with an explicit configuration.
     pub fn build_with(dataset: &Dataset, config: GatConfig) -> Result<Self> {
         config.validate()?;

@@ -89,6 +89,84 @@ impl Itl {
             .map(|acts| ActivitySet::from_ids(acts.keys().copied()))
     }
 
+    /// Serializes the lists, cells in ascending code order and
+    /// activities in ascending id order (deterministic bytes).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use atsq_storage::codec::{put_ascending, put_varint, put_varint_u64};
+        out.push(self.leaf_level);
+        let mut codes: Vec<u64> = self.cells.keys().copied().collect();
+        codes.sort_unstable();
+        put_varint(out, codes.len() as u32);
+        for code in codes {
+            put_varint_u64(out, code);
+            let acts_map = &self.cells[&code];
+            let mut acts: Vec<ActivityId> = acts_map.keys().copied().collect();
+            acts.sort_unstable();
+            put_varint(out, acts.len() as u32);
+            for a in acts {
+                put_varint(out, a.0);
+                let ids: Vec<u32> = acts_map[&a].iter().map(|t| t.0).collect();
+                put_ascending(out, &ids);
+            }
+        }
+    }
+
+    /// Decodes [`Itl::encode`] output from `buf[*pos..]`, advancing
+    /// `pos`. `None` on truncation or any violated invariant
+    /// (duplicate keys, non-ascending trajectory lists).
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use atsq_storage::codec::{get_ascending, get_varint, get_varint_u64};
+        let leaf_level = *buf.get(*pos)?;
+        *pos += 1;
+        if leaf_level == 0 || leaf_level > atsq_grid::Grid::MAX_SUPPORTED_LEVEL {
+            return None;
+        }
+        let n_cells = get_varint(buf, pos)? as usize;
+        let mut cells: HashMap<u64, HashMap<ActivityId, Vec<TrajectoryId>>> =
+            HashMap::with_capacity(n_cells.min(1 << 16));
+        let mut postings = 0usize;
+        for _ in 0..n_cells {
+            let code = get_varint_u64(buf, pos)?;
+            let n_acts = get_varint(buf, pos)? as usize;
+            let mut acts: HashMap<ActivityId, Vec<TrajectoryId>> =
+                HashMap::with_capacity(n_acts.min(1 << 16));
+            for _ in 0..n_acts {
+                let act = ActivityId(get_varint(buf, pos)?);
+                let ids = get_ascending(buf, pos)?;
+                // Lists are sorted + deduped, i.e. strictly ascending.
+                if ids.windows(2).any(|w| w[0] >= w[1]) {
+                    return None;
+                }
+                postings += ids.len();
+                let list = ids.into_iter().map(TrajectoryId).collect();
+                if acts.insert(act, list).is_some() {
+                    return None; // duplicate activity under one cell
+                }
+            }
+            if cells.insert(code, acts).is_some() {
+                return None; // duplicate cell entry
+            }
+        }
+        Some(Itl {
+            cells,
+            leaf_level,
+            postings,
+        })
+    }
+
+    /// The largest trajectory index any posting references, `None`
+    /// when the lists are empty. Lists are ascending, so this is one
+    /// pass over the last element of each. The snapshot loader uses
+    /// it to reject decoded lists pointing outside the dataset.
+    pub fn max_trajectory_index(&self) -> Option<usize> {
+        self.cells
+            .values()
+            .flat_map(|acts| acts.values())
+            .filter_map(|list| list.last())
+            .map(|tr| tr.index())
+            .max()
+    }
+
     /// Number of non-empty leaf cells.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
@@ -159,6 +237,43 @@ mod tests {
             Some(ActivitySet::from_raw([2, 7]))
         );
         assert_eq!(itl.cell_activities(cell(5, 5)), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let itl = Itl::build(
+            3,
+            vec![
+                (cell(1, 1), ActivityId(5), TrajectoryId(10)),
+                (cell(1, 1), ActivityId(5), TrajectoryId(3)),
+                (cell(1, 1), ActivityId(6), TrajectoryId(4)),
+                (cell(2, 2), ActivityId(5), TrajectoryId(8)),
+            ],
+        );
+        let mut buf = Vec::new();
+        itl.encode(&mut buf);
+        let mut pos = 0;
+        let q = Itl::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(q.leaf_level(), 3);
+        assert_eq!(q.cell_count(), itl.cell_count());
+        assert_eq!(q.posting_count(), itl.posting_count());
+        for (c, a) in [
+            (cell(1, 1), ActivityId(5)),
+            (cell(1, 1), ActivityId(6)),
+            (cell(2, 2), ActivityId(5)),
+            (cell(7, 7), ActivityId(5)),
+        ] {
+            assert_eq!(itl.trajectories(c, a), q.trajectories(c, a));
+        }
+        // Deterministic bytes despite HashMap internals.
+        let mut again = Vec::new();
+        itl.encode(&mut again);
+        assert_eq!(buf, again);
+        // Truncation fails cleanly at every prefix.
+        for cut in 0..buf.len() {
+            assert!(Itl::decode(&buf[..cut], &mut 0).is_none(), "cut={cut}");
+        }
     }
 
     #[test]

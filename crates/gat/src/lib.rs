@@ -21,6 +21,11 @@
 //! [`search`] implements Algorithm 1 (the outer loop), the candidate
 //! retrieval of §V-A, the tightened lower bound of Algorithm 2, and the
 //! ATSQ / OATSQ query entry points.
+//!
+//! [`snapshot`] persists built indexes (single or sharded) as
+//! versioned, checksummed binary snapshots keyed by the dataset's
+//! content hash, so a server restart loads in milliseconds instead of
+//! rebuilding every layer; see [`snapshot::IndexCache`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -33,6 +38,7 @@ pub mod itl;
 pub mod paged;
 pub mod search;
 pub mod sharded;
+pub mod snapshot;
 pub mod stats;
 pub mod tas;
 
@@ -45,4 +51,5 @@ pub use search::{
     try_oatsq_with_bound, SharedKthBound,
 };
 pub use sharded::{Partition, ShardedEngine};
+pub use snapshot::{CacheOutcome, IndexCache, SnapshotInfo};
 pub use stats::IoStats;

@@ -113,20 +113,46 @@ impl ShardedEngine {
         partition: Partition,
         config: GatConfig,
     ) -> Result<Self> {
+        Self::assemble(dataset, shards, partition, |_, shard_dataset| {
+            GatIndex::build_with(shard_dataset, config)
+        })
+    }
+
+    /// The shard membership the given partitioner would produce — the
+    /// deterministic function the snapshot loader re-runs to rebuild
+    /// shard datasets without re-building their indexes.
+    pub(crate) fn membership(
+        dataset: &Dataset,
+        shards: usize,
+        partition: Partition,
+    ) -> Vec<Vec<TrajectoryId>> {
+        match partition {
+            Partition::Hash => hash_assign(dataset.len(), shards),
+            Partition::Spatial => spatial_assign(dataset, shards),
+        }
+    }
+
+    /// Partitions the dataset and obtains each shard's index through
+    /// `index_for` — a fresh build, or a snapshot load in
+    /// [`crate::snapshot`].
+    pub(crate) fn assemble(
+        dataset: &Dataset,
+        shards: usize,
+        partition: Partition,
+        mut index_for: impl FnMut(usize, &Dataset) -> Result<GatIndex>,
+    ) -> Result<Self> {
         if shards == 0 {
             return Err(Error::InvalidConfig("shard count must be ≥ 1".into()));
         }
-        let membership = match partition {
-            Partition::Hash => hash_assign(dataset.len(), shards),
-            Partition::Spatial => spatial_assign(dataset, shards),
-        };
+        let membership = Self::membership(dataset, shards, partition);
         let shards = membership
             .into_iter()
-            .map(|members| {
+            .enumerate()
+            .map(|(i, members)| {
                 let shard_dataset = dataset.subset(&members);
                 let b = shard_dataset.bounds();
                 let center = Point::new((b.min.x + b.max.x) / 2.0, (b.min.y + b.max.y) / 2.0);
-                let index = GatIndex::build_with(&shard_dataset, config)?;
+                let index = index_for(i, &shard_dataset)?;
                 Ok(Shard {
                     dataset: shard_dataset,
                     index,
@@ -141,6 +167,12 @@ impl ShardedEngine {
             partition,
             total: dataset.len(),
         })
+    }
+
+    /// Per-shard `(dataset, index)` views in shard order — what the
+    /// snapshot writer serializes.
+    pub(crate) fn shard_parts(&self) -> impl Iterator<Item = (&Dataset, &GatIndex)> {
+        self.shards.iter().map(|s| (&s.dataset, &s.index))
     }
 
     /// Number of shards.

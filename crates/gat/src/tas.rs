@@ -145,6 +145,44 @@ impl Tas {
     pub fn memory_bytes(&self) -> usize {
         self.sketches.iter().map(Sketch::memory_bytes).sum()
     }
+
+    /// Serializes the table. Each sketch's intervals flatten to one
+    /// non-decreasing `[lo1, hi1, lo2, hi2, ...]` run (intervals are
+    /// disjoint and ascending), which delta-codes tightly.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use atsq_storage::codec::{put_ascending, put_varint};
+        put_varint(out, self.sketches.len() as u32);
+        for s in &self.sketches {
+            let flat: Vec<u32> = s.intervals.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+            put_ascending(out, &flat);
+        }
+    }
+
+    /// Decodes [`Tas::encode`] output from `buf[*pos..]`, advancing
+    /// `pos`. `None` on truncation or malformed intervals (odd flat
+    /// length, overlapping intervals).
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use atsq_storage::codec::{get_ascending, get_varint};
+        let n = get_varint(buf, pos)? as usize;
+        if n > buf.len().saturating_sub(*pos) {
+            return None; // each sketch costs at least one byte
+        }
+        let mut sketches = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flat = get_ascending(buf, pos)?;
+            if flat.len() % 2 != 0 {
+                return None;
+            }
+            let intervals: Vec<(u32, u32)> = flat.chunks(2).map(|c| (c[0], c[1])).collect();
+            // Ascending flat run guarantees lo ≤ hi; disjointness needs
+            // the strict step between hi and the next lo.
+            if intervals.windows(2).any(|w| w[0].1 >= w[1].0) {
+                return None;
+            }
+            sketches.push(Sketch { intervals });
+        }
+        Some(Tas { sketches })
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +276,41 @@ mod tests {
         assert!(t.sketch(0).covers(&ActivitySet::from_raw([1])));
         assert!(!t.sketch(1).covers(&ActivitySet::from_raw([1])));
         assert_eq!(t.memory_bytes(), 2 * 2 * 8);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Tas::build(
+            vec![
+                ActivitySet::from_raw([1, 2, 3, 50, 51, 100]),
+                ActivitySet::new(),
+                ActivitySet::from_raw([7]),
+            ],
+            3,
+        );
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut pos = 0;
+        let q = Tas::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(q.len(), t.len());
+        for i in 0..t.len() {
+            assert_eq!(t.sketch(i), q.sketch(i));
+        }
+        // Truncation fails cleanly at every prefix.
+        for cut in 0..buf.len() {
+            assert!(Tas::decode(&buf[..cut], &mut 0).is_none(), "cut={cut}");
+        }
+        // Overlapping intervals (hi ≥ next lo) are rejected: [1,5],[5,9].
+        let mut bad = Vec::new();
+        atsq_storage::codec::put_varint(&mut bad, 1);
+        atsq_storage::codec::put_ascending(&mut bad, &[1, 5, 5, 9]);
+        assert!(Tas::decode(&bad, &mut 0).is_none());
+        // Odd flat length is rejected.
+        let mut odd = Vec::new();
+        atsq_storage::codec::put_varint(&mut odd, 1);
+        atsq_storage::codec::put_ascending(&mut odd, &[1, 5, 9]);
+        assert!(Tas::decode(&odd, &mut 0).is_none());
     }
 
     /// The paper's optimality claim: splitting at the largest gaps

@@ -81,4 +81,4 @@ pub use queue::{BoundedQueue, PushError};
 pub use request::{CacheKey, Request, Response};
 pub use server::Server;
 pub use service::{Service, ServiceConfig, ServiceHandle, SubmitError, Ticket};
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{percentile_sorted, ServiceStats, StatsSnapshot};

@@ -7,6 +7,7 @@
 //! With `verify` on, every response is checked against direct
 //! [`GatEngine`](atsq_core::GatEngine) answers computed locally.
 
+use crate::stats::percentile_sorted;
 use crate::wire::{decode_server_reply, encode_request, ServerReply};
 use crate::Request;
 use atsq_core::{GatEngine, QueryEngine};
@@ -206,9 +207,13 @@ pub fn run_loadgen(
     }
     report.wall = wall;
     report.qps = report.ok as f64 / wall.as_secs_f64().max(1e-9);
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    report.p50_ms = percentile(&latencies, 0.50);
-    report.p99_ms = percentile(&latencies, 0.99);
+    // total_cmp is a total order (NaN included); a partial_cmp
+    // fallback would silently leave a NaN-bearing slice mis-sorted.
+    latencies.sort_unstable_by(f64::total_cmp);
+    // Nearest-rank percentiles — the same convention the server's
+    // histogram stats use, so client and server numbers compare.
+    report.p50_ms = percentile_sorted(&latencies, 0.50);
+    report.p99_ms = percentile_sorted(&latencies, 0.99);
     report.server_cache_hit_rate = fetch_server_hit_rate(addr).ok();
     Ok(report)
 }
@@ -282,14 +287,6 @@ fn results_match(got: &[QueryResult], want: &[QueryResult]) -> bool {
             .iter()
             .zip(want)
             .all(|(g, w)| g.trajectory == w.trajectory && (g.distance - w.distance).abs() < 1e-9)
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn fetch_server_hit_rate(addr: &str) -> std::io::Result<f64> {

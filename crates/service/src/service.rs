@@ -4,7 +4,7 @@ use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{CacheKey, Request, Response};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use atsq_core::{run_batch, Engine, GatEngine, Partition, QueryEngine, QueryKind, ShardedEngine};
+use atsq_core::{run_batch, CacheOutcome, Engine, IndexCache, Partition, QueryEngine, QueryKind};
 use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -42,6 +42,13 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// How trajectories map to shards when `shards > 1`.
     pub partition: Partition,
+    /// Directory of persistent index snapshots ([`Service::build`]
+    /// only). When set, startup loads a validated snapshot of the GAT
+    /// (or sharded) index instead of rebuilding it — snapshots are
+    /// keyed by the dataset's content hash, so a stale or corrupt file
+    /// falls back to a fresh build whose snapshot is saved for the
+    /// next start. `None` always builds in process.
+    pub index_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +62,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             shards: 1,
             partition: Partition::Hash,
+            index_cache: None,
         }
     }
 }
@@ -107,18 +115,31 @@ pub struct Service {
 impl Service {
     /// Builds the engine for `dataset` — a single GAT index, or a
     /// [`ShardedEngine`] when `config.shards > 1` — and starts the
-    /// service.
+    /// service. With `config.index_cache` set, the index is loaded
+    /// from a validated snapshot when one exists (see
+    /// [`atsq_core::IndexCache`]); otherwise it is built fresh and
+    /// snapshotted for the next start.
     pub fn build(dataset: Dataset, config: ServiceConfig) -> LibResult<Self> {
-        let engine = if config.shards > 1 {
-            Engine::Sharded(ShardedEngine::build(
-                &dataset,
-                config.shards,
-                config.partition,
-            )?)
-        } else {
-            Engine::Gat(GatEngine::build(&dataset)?)
-        };
-        Ok(Self::start(Arc::new(dataset), Arc::new(engine), config))
+        Ok(Self::build_with_outcome(dataset, config)?.0)
+    }
+
+    /// [`Service::build`], also reporting how the engine came to be:
+    /// `Some(CacheOutcome)` when an index cache was configured
+    /// (loaded, or rebuilt and why), `None` otherwise. This is the
+    /// embedder's observability hook for cold starts — a corrupt
+    /// snapshot degrades to a rebuild silently at the serving level,
+    /// and the outcome is the only record of it.
+    pub fn build_with_outcome(
+        dataset: Dataset,
+        config: ServiceConfig,
+    ) -> LibResult<(Self, Option<CacheOutcome>)> {
+        let cache = config.index_cache.as_ref().map(IndexCache::new);
+        let (engine, outcome) =
+            Engine::build_gat(&dataset, config.shards, config.partition, cache.as_ref())?;
+        Ok((
+            Self::start(Arc::new(dataset), Arc::new(engine), config),
+            outcome,
+        ))
     }
 
     /// Starts the worker pool over an existing dataset and engine.
@@ -699,6 +720,53 @@ mod tests {
             snap.engine.candidates
         );
         service.shutdown();
+    }
+
+    /// The cold-start path: a service started with an index cache
+    /// snapshots its index; a second start loads the snapshot and
+    /// serves byte-identical answers, single and sharded.
+    #[test]
+    fn index_cache_restart_serves_identical_answers() {
+        let dataset = generate(&CityConfig::tiny(31)).unwrap();
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 5);
+        let dir = std::env::temp_dir().join(format!("atsq-service-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        for shards in [1usize, 2] {
+            let config = || ServiceConfig {
+                workers: 2,
+                shards,
+                index_cache: Some(dir.clone()),
+                ..ServiceConfig::default()
+            };
+            let first = Service::build(dataset.clone(), config()).unwrap();
+            let answers: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    first
+                        .handle()
+                        .call(Request::Atsq {
+                            query: q.clone(),
+                            k: 5,
+                        })
+                        .unwrap()
+                })
+                .collect();
+            first.shutdown();
+            // "Restart": a fresh service over the same dataset + cache.
+            let second = Service::build(dataset.clone(), config()).unwrap();
+            for (q, want) in queries.iter().zip(&answers) {
+                let got = second
+                    .handle()
+                    .call(Request::Atsq {
+                        query: q.clone(),
+                        k: 5,
+                    })
+                    .unwrap();
+                assert_eq!(got.results(), want.results(), "shards={shards}");
+            }
+            second.shutdown();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

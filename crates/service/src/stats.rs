@@ -28,12 +28,29 @@ pub struct ServiceStats {
     batched_requests: AtomicU64,
     /// Histogram of end-to-end (enqueue → reply) latency in µs.
     latency_us: [AtomicU64; BUCKETS],
-    /// `(uptime µs, completion count)` at the previous snapshot —
-    /// behind one mutex so concurrent snapshot takers cannot pair one
-    /// caller's time window with another's completion window.
-    /// Snapshots are a cold path; the hot-path counters stay lock-free.
-    window: std::sync::Mutex<(u64, u64)>,
+    /// QPS window state: `(uptime µs, completion count)` at the last
+    /// *consumed* snapshot plus the rate it reported — behind one
+    /// mutex so concurrent snapshot takers cannot pair one caller's
+    /// time window with another's completion window. Snapshots are a
+    /// cold path; the hot-path counters stay lock-free.
+    window: std::sync::Mutex<QpsWindow>,
 }
+
+/// See [`ServiceStats::snapshot`]: the window only advances once it is
+/// at least [`MIN_QPS_WINDOW_US`] long; shorter gaps report
+/// `last_rate` unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+struct QpsWindow {
+    start_us: u64,
+    completed_at_start: u64,
+    last_rate: f64,
+}
+
+/// Minimum window length a QPS sample may be computed over. Dividing a
+/// handful of completions by the microseconds between two back-to-back
+/// `stats` calls would report absurd rate spikes; below this floor the
+/// previous rate is carried and the window keeps accumulating.
+const MIN_QPS_WINDOW_US: u64 = 10_000;
 
 impl Default for ServiceStats {
     fn default() -> Self {
@@ -50,7 +67,7 @@ impl Default for ServiceStats {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
-            window: std::sync::Mutex::new((0, 0)),
+            window: std::sync::Mutex::new(QpsWindow::default()),
         }
     }
 }
@@ -99,9 +116,17 @@ impl ServiceStats {
     }
 
     /// One request completed with the given enqueue→reply latency.
+    ///
+    /// Every latency lands in a bucket: sub-microsecond values clamp
+    /// into the first bucket, and durations beyond the top bucket
+    /// (2^39 µs ≈ 6.4 days, which a u128→u64 conversion could
+    /// otherwise wrap) clamp into the last — nothing panics, nothing
+    /// vanishes from the histogram.
     pub fn record_completed(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let us = latency.as_micros().max(1) as u64;
+        let us = u64::try_from(latency.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
         let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
     }
@@ -110,11 +135,16 @@ impl ServiceStats {
     /// are atomic; the set is not, which is fine for monitoring).
     ///
     /// The reported `qps` is **windowed**: completions since the
-    /// previous snapshot divided by the time since it (the first
-    /// snapshot's window starts at service start). A lifetime average
-    /// would be permanently deflated by any idle period. Concurrent
-    /// snapshot takers share one window, so a given consumer sees the
-    /// rate since *someone* last looked — the usual scrape model.
+    /// previous *consumed* snapshot divided by the time since it (the
+    /// first window starts at service start). A lifetime average would
+    /// be permanently deflated by any idle period. The window is only
+    /// consumed once it is at least 10 ms long; two back-to-back stats
+    /// calls therefore repeat the previous rate instead of dividing a
+    /// few completions by a microsecond-scale gap and reporting an
+    /// absurd spike, and the accumulating window still counts the
+    /// burst when it is next consumed. Concurrent snapshot takers
+    /// share one window, so a given consumer sees the rate since
+    /// *someone* last looked — the usual scrape model.
     pub fn snapshot(
         &self,
         queue_depth: usize,
@@ -126,15 +156,31 @@ impl ServiceStats {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let uptime = self.started.elapsed();
-        let now_us = uptime.as_micros() as u64;
-        let (window_start_us, window_completed) = {
+        // The completion count and clock are read *inside* the lock:
+        // read outside, a descheduled taker could pair its stale count
+        // with a fresher taker's window and corrupt the rate state —
+        // the exact mispairing the shared-window mutex exists to
+        // prevent.
+        let (completed, uptime, qps) = {
             let mut w = self.window.lock().expect("stats window");
-            std::mem::replace(&mut *w, (now_us, completed))
+            let completed = self.completed.load(Ordering::Relaxed);
+            let uptime = self.started.elapsed();
+            let now_us = uptime.as_micros() as u64;
+            let window_us = now_us.saturating_sub(w.start_us);
+            let qps = if window_us < MIN_QPS_WINDOW_US {
+                w.last_rate // window too short to rate; keep accumulating
+            } else {
+                let delta = completed.saturating_sub(w.completed_at_start);
+                let rate = delta as f64 / (window_us as f64 / 1e6);
+                *w = QpsWindow {
+                    start_us: now_us,
+                    completed_at_start: completed,
+                    last_rate: rate,
+                };
+                rate
+            };
+            (completed, uptime, qps)
         };
-        let window_s = now_us.saturating_sub(window_start_us) as f64 / 1e6;
-        let window_delta = completed.saturating_sub(window_completed);
         StatsSnapshot {
             uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -147,7 +193,7 @@ impl ServiceStats {
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            qps: window_delta as f64 / window_s.max(1e-6),
+            qps,
             p50_ms: percentile_ms(&hist, 0.50),
             p90_ms: percentile_ms(&hist, 0.90),
             p99_ms: percentile_ms(&hist, 0.99),
@@ -158,14 +204,36 @@ impl ServiceStats {
     }
 }
 
+/// The one percentile convention this crate uses: **nearest rank**,
+/// `rank = ⌈p·n⌉` clamped into `[1, n]`. Both the server-side
+/// histogram percentiles ([`percentile_ms`]) and the load generator's
+/// client-side sample percentiles ([`percentile_sorted`]) apply this
+/// rule, so the two sides of a measurement report comparable numbers.
+fn nearest_rank(total: u64, p: f64) -> u64 {
+    (((total as f64) * p).ceil() as u64).clamp(1, total)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`0.0` for an
+/// empty one). Sort inputs with [`f64::total_cmp`] — it is total over
+/// NaN and infinities, unlike a `partial_cmp` fallback that silently
+/// treats NaN as equal to everything and can leave the slice
+/// mis-sorted.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[nearest_rank(sorted.len() as u64, p) as usize - 1]
+}
+
 /// Approximate percentile from the log-bucket histogram, reported as
 /// the geometric midpoint of the containing bucket, in milliseconds.
+/// Same nearest-rank rule as [`percentile_sorted`].
 fn percentile_ms(hist: &[u64], p: f64) -> f64 {
     let total: u64 = hist.iter().sum();
     if total == 0 {
         return 0.0;
     }
-    let target = ((total as f64) * p).ceil().max(1.0) as u64;
+    let target = nearest_rank(total, p);
     let mut seen = 0u64;
     for (i, &count) in hist.iter().enumerate() {
         seen += count;
@@ -290,6 +358,8 @@ mod tests {
         s.record_cache_miss();
         s.record_batch(5);
         s.record_completed(Duration::from_micros(800));
+        // Let the QPS window clear its 10 ms floor so the rate is live.
+        std::thread::sleep(Duration::from_millis(12));
         let snap = s.snapshot(3, EngineCounters::default(), vec![0]);
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.rejected, 1);
@@ -340,6 +410,7 @@ mod tests {
         for _ in 0..50 {
             s.record_completed(Duration::from_micros(100));
         }
+        std::thread::sleep(Duration::from_millis(12));
         let first = s.snapshot(0, EngineCounters::default(), vec![0]);
         assert!(first.qps > 0.0);
         // Idle period, then one snapshot: zero completions in window.
@@ -347,12 +418,13 @@ mod tests {
         let idle = s.snapshot(0, EngineCounters::default(), vec![0]);
         assert_eq!(idle.qps, 0.0, "no completions since last snapshot");
         // A burst right after the idle window rates against the short
-        // recent window, not lifetime uptime: 50 completions within a
-        // few ms must report far more than the lifetime average a
-        // 30 ms idle stretch would produce (≤ ~1650/s here).
+        // recent window, not lifetime uptime: 50 completions within
+        // ~12 ms must report far more than the lifetime average a
+        // 40+ ms idle stretch would produce.
         for _ in 0..50 {
             s.record_completed(Duration::from_micros(100));
         }
+        std::thread::sleep(Duration::from_millis(12));
         let burst = s.snapshot(0, EngineCounters::default(), vec![0]);
         let lifetime = burst.completed as f64 / burst.uptime.as_secs_f64();
         assert!(
@@ -364,5 +436,115 @@ mod tests {
         // Display mentions per-shard candidates only when sharded.
         let sharded = s.snapshot(0, EngineCounters::default(), vec![3, 4]);
         assert!(sharded.to_string().contains("shard candidates [3, 4]"));
+    }
+
+    /// The regression the minimum-window guard fixes: two back-to-back
+    /// stats calls must not divide a burst of completions by a
+    /// microsecond-scale gap and report an absurd rate spike. The
+    /// sub-floor call repeats the previous rate; the burst is still
+    /// counted once the window is long enough to consume.
+    #[test]
+    fn back_to_back_snapshots_do_not_spike_qps() {
+        let s = ServiceStats::default();
+        for _ in 0..20 {
+            s.record_completed(Duration::from_micros(100));
+        }
+        std::thread::sleep(Duration::from_millis(12));
+        let first = s.snapshot(0, EngineCounters::default(), vec![0]);
+        assert!(first.qps > 0.0 && first.qps < 20_000.0, "{}", first.qps);
+        // Burst + immediate snapshot: the window is normally only
+        // microseconds long here, so the guard carries the previous
+        // rate instead of reporting 1000 completions over it (tens of
+        // millions of QPS). Under a CI scheduler stall the window can
+        // legitimately clear the 10 ms floor and recompute — so the
+        // hard bound is the property asserted: the reported rate can
+        // never exceed completions divided by the window floor.
+        for _ in 0..1000 {
+            s.record_completed(Duration::from_micros(100));
+        }
+        let spike = s.snapshot(0, EngineCounters::default(), vec![0]);
+        let ceiling = 1020.0 / 0.010;
+        assert!(
+            spike.qps <= ceiling,
+            "guarded rate {} must stay below the window-floor ceiling {ceiling}",
+            spike.qps
+        );
+        // Once the window clears the floor, the burst is rated over a
+        // real window — large, but still bounded by the same ceiling.
+        std::thread::sleep(Duration::from_millis(12));
+        let settled = s.snapshot(0, EngineCounters::default(), vec![0]);
+        if spike.qps == first.qps {
+            // The spike call carried (no stall): the accumulating
+            // window kept the burst and it must show up now.
+            assert!(settled.qps > first.qps, "burst must show up");
+        }
+        assert!(
+            settled.qps <= ceiling,
+            "rate bounded by the window floor, got {}",
+            settled.qps
+        );
+    }
+
+    /// Bucket-edge regressions: sub-microsecond latencies land in the
+    /// first bucket, and latencies beyond the top bucket (including
+    /// durations whose microsecond count exceeds u64) land in the last
+    /// bucket — counted, not panicking, not vanishing.
+    #[test]
+    fn latency_bucket_edges_clamp() {
+        let s = ServiceStats::default();
+        s.record_completed(Duration::ZERO);
+        s.record_completed(Duration::from_nanos(1));
+        s.record_completed(Duration::from_nanos(999));
+        let snap = s.snapshot(0, EngineCounters::default(), vec![0]);
+        assert_eq!(snap.completed, 3);
+        // All three sit in bucket 0: its geometric midpoint is √2 µs.
+        let first_bucket_ms = std::f64::consts::SQRT_2 / 1e3;
+        assert!(
+            (snap.p50_ms - first_bucket_ms).abs() < 1e-12,
+            "{}",
+            snap.p50_ms
+        );
+        assert!((snap.p99_ms - first_bucket_ms).abs() < 1e-12);
+
+        // Far beyond the top bucket: 2^39 µs ≈ 6.4 days < 10^6 days;
+        // Duration::MAX microseconds does not even fit u64.
+        let s = ServiceStats::default();
+        s.record_completed(Duration::from_secs(60 * 60 * 24 * 365)); // a year
+        s.record_completed(Duration::MAX);
+        let snap = s.snapshot(0, EngineCounters::default(), vec![0]);
+        assert_eq!(snap.completed, 2);
+        let last_bucket_ms = ((1u64 << (BUCKETS - 1)) as f64) * std::f64::consts::SQRT_2 / 1e3;
+        assert!(
+            (snap.p50_ms - last_bucket_ms).abs() < 1e-3,
+            "{}",
+            snap.p50_ms
+        );
+        assert!((snap.p99_ms - last_bucket_ms).abs() < 1e-3);
+    }
+
+    /// The shared nearest-rank convention, on the sample-percentile
+    /// side: rank ⌈p·n⌉, clamped, NaN-safe ordering left to the
+    /// caller's `total_cmp` sort.
+    #[test]
+    fn percentile_sorted_uses_nearest_rank() {
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        let one = [42.0];
+        assert_eq!(percentile_sorted(&one, 0.0), 42.0);
+        assert_eq!(percentile_sorted(&one, 1.0), 42.0);
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        // ⌈0.5·10⌉ = 5 → 5.0 (nearest-rank, not linear interpolation).
+        assert_eq!(percentile_sorted(&v, 0.50), 5.0);
+        // ⌈0.99·10⌉ = 10 → 10.0; ⌈0.90·10⌉ = 9 → 9.0.
+        assert_eq!(percentile_sorted(&v, 0.99), 10.0);
+        assert_eq!(percentile_sorted(&v, 0.90), 9.0);
+        // ⌈0.91·10⌉ = 10: the old round() rule would have picked
+        // index round(9·0.91)=8 → 9.0 here; nearest-rank says 10.0.
+        assert_eq!(percentile_sorted(&v, 0.91), 10.0);
+        // A total_cmp sort orders NaN last and the percentile stays
+        // finite for ranks below it.
+        let mut with_nan = vec![3.0, f64::NAN, 1.0, 2.0];
+        with_nan.sort_unstable_by(f64::total_cmp);
+        assert_eq!(percentile_sorted(&with_nan, 0.50), 2.0);
+        assert_eq!(with_nan[0], 1.0);
     }
 }

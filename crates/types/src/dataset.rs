@@ -120,6 +120,41 @@ impl Dataset {
         }
     }
 
+    /// A deterministic 64-bit fingerprint of the dataset's full
+    /// content: vocabulary (names, counts, id order), every trajectory
+    /// point (exact coordinate bits) and every activity set.
+    ///
+    /// The hash is FNV-1a over a canonical byte stream, so it is stable
+    /// across processes, platforms and re-loads of the same snapshot —
+    /// which is what lets persisted index snapshots be keyed by the
+    /// dataset they were built from and invalidated when the data
+    /// changes. It is a corruption/staleness check, not a cryptographic
+    /// commitment.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.vocabulary.len() as u64);
+        for i in 0..self.vocabulary.len() as u32 {
+            let id = ActivityId(i);
+            let name = self.vocabulary.name(id).expect("dense vocabulary ids");
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
+            h.write_u64(self.vocabulary.count(id));
+        }
+        h.write_u64(self.trajectories.len() as u64);
+        for tr in &self.trajectories {
+            h.write_u64(tr.points.len() as u64);
+            for p in &tr.points {
+                h.write_u64(p.loc.x.to_bits());
+                h.write_u64(p.loc.y.to_bits());
+                h.write_u64(p.activities.len() as u64);
+                for a in p.activities.iter() {
+                    h.write_u64(u64::from(a.0));
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Extracts the sub-dataset holding exactly `members`, re-assigning
     /// dense local ids `0..members.len()` in the order given. The
     /// vocabulary (ids, names, frequency ranking) is retained, so
@@ -148,6 +183,43 @@ impl Dataset {
             vocabulary: self.vocabulary.clone(),
             bounds,
         }
+    }
+}
+
+/// FNV-1a (64-bit): tiny, dependency-free, deterministic. Quality is
+/// ample for content-addressed cache keys — [`Dataset::content_hash`]
+/// and the index-snapshot subsystem both hash through this one
+/// implementation so the constants can never diverge.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Absorbs one `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -360,6 +432,34 @@ mod tests {
         // Bounds cover the members only.
         assert_eq!(sub.bounds(), Rect::from_bounds(1.0, 0.0, 4.0, 0.0));
         assert!(d.subset(&[]).is_empty());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let build = |names: &[&str], x0: f64| {
+            let mut b = DatasetBuilder::new().without_frequency_ranking();
+            let ids: Vec<ActivityId> = names.iter().map(|n| b.observe_activity(n)).collect();
+            b.push_trajectory(vec![tp(x0, 0.0, &ids), tp(1.0, 2.0, &ids[..1])]);
+            b.push_trajectory(vec![tp(5.0, 5.0, &ids[1..])]);
+            b.finish().unwrap()
+        };
+        let d = build(&["a", "b"], 0.0);
+        // Identical construction hashes identically.
+        assert_eq!(d.content_hash(), build(&["a", "b"], 0.0).content_hash());
+        // Any content change — a coordinate, an activity name — changes it.
+        assert_ne!(d.content_hash(), build(&["a", "b"], 0.25).content_hash());
+        assert_ne!(d.content_hash(), build(&["a", "c"], 0.0).content_hash());
+        // Appending a trajectory changes it.
+        let mut grown = d.clone();
+        let a = grown.vocabulary().get("a").unwrap();
+        grown.append_trajectory(vec![tp(9.0, 9.0, &[a])]).unwrap();
+        assert_ne!(d.content_hash(), grown.content_hash());
+        // The hash survives a clone (pure function of content).
+        assert_eq!(d.content_hash(), d.clone().content_hash());
+        // Empty dataset has a well-defined hash distinct from non-empty.
+        let empty = DatasetBuilder::new().finish().unwrap();
+        assert_eq!(empty.content_hash(), empty.content_hash());
+        assert_ne!(empty.content_hash(), d.content_hash());
     }
 
     #[test]

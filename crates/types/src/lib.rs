@@ -21,7 +21,7 @@ pub mod simplify;
 pub mod trajectory;
 
 pub use activity::{ActivityId, ActivitySet, Vocabulary};
-pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
+pub use dataset::{Dataset, DatasetBuilder, DatasetStats, Fnv64};
 pub use error::{Error, Result};
 pub use geo::{Point, Rect};
 pub use query::{rank_top_k, Query, QueryPoint, QueryResult};
