@@ -1,0 +1,139 @@
+//! Tracing-overhead budget: QPS with per-request tracing on vs. off.
+//!
+//! The observability layer (ISSUE 6) promises that request tracing —
+//! stage clocks, per-query counter scopes, slow-log recording — costs
+//! under 5% of serving throughput. This self-driving harness
+//! (`harness = false`) measures exactly that on the real wire path:
+//! a TCP server driven by the closed-loop load generator, with the
+//! slow log at threshold zero so *every* request pays the full
+//! recording cost (the worst case). Trials interleave the two modes so
+//! thermal / cache drift hits both equally, and each mode keeps its
+//! best trial (closed-loop QPS is noise-bounded from above).
+//!
+//! Prints a table, writes `BENCH_obs_overhead.json` (`BENCH_OUT`
+//! overrides), and **fails** when best-on/best-off falls below
+//! `OBS_MIN_RATIO` (default 0.95).
+//!
+//! Environment knobs: `OBS_BENCH_SCALE` (dataset scale, default
+//! 0.002), `OBS_BENCH_REQUESTS` (per trial, default 2000),
+//! `OBS_BENCH_TRIALS` (default 3), `OBS_MIN_RATIO` (default 0.95).
+
+use atsq_core::{Engine, GatEngine};
+use atsq_datagen::{generate, CityConfig};
+use atsq_service::{run_loadgen, LoadgenConfig, Server, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale: f64 = env_or("OBS_BENCH_SCALE", 0.002);
+    let requests: usize = env_or("OBS_BENCH_REQUESTS", 2000);
+    let trials: usize = env_or("OBS_BENCH_TRIALS", 3);
+    let min_ratio: f64 = env_or("OBS_MIN_RATIO", 0.95);
+
+    let dataset = generate(&CityConfig::la_like(scale)).expect("dataset");
+    let engine = Arc::new(Engine::Gat(GatEngine::build(&dataset).expect("engine")));
+    let dataset = Arc::new(dataset);
+
+    println!(
+        "obs_overhead: {requests} requests/trial, {trials} interleaved trial pairs, \
+         slowlog threshold 0 (every request recorded when tracing)"
+    );
+    println!(
+        "{:>8}{:>10}{:>12}{:>10}{:>10}",
+        "trial", "tracing", "qps", "p50 ms", "p99 ms"
+    );
+
+    let mut qps_off: Vec<f64> = Vec::new();
+    let mut qps_on: Vec<f64> = Vec::new();
+    for trial in 0..trials {
+        for tracing in [false, true] {
+            let (qps, p50, p99) = run_trial(&dataset, &engine, tracing, requests);
+            println!(
+                "{:>8}{:>10}{:>12.1}{:>10.2}{:>10.2}",
+                trial,
+                if tracing { "on" } else { "off" },
+                qps,
+                p50,
+                p99
+            );
+            if tracing {
+                qps_on.push(qps);
+            } else {
+                qps_off.push(qps);
+            }
+        }
+    }
+
+    let best = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
+    let (best_off, best_on) = (best(&qps_off), best(&qps_on));
+    let ratio = best_on / best_off;
+    println!(
+        "best tracing-off {best_off:.1} qps, tracing-on {best_on:.1} qps — ratio {ratio:.3} \
+         (floor {min_ratio})"
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_obs_overhead.json".into());
+    let fmt = |v: &[f64]| {
+        v.iter()
+            .map(|q| format!("{q:.2}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let json = format!(
+        r#"{{"bench":"obs_overhead","requests":{requests},"trials":{trials},"qps_off":[{}],"qps_on":[{}],"best_off":{best_off:.2},"best_on":{best_on:.2},"ratio":{ratio:.4},"min_ratio":{min_ratio}}}"#,
+        fmt(&qps_off),
+        fmt(&qps_on),
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+
+    assert!(
+        ratio >= min_ratio,
+        "tracing overhead exceeds budget: on/off QPS ratio {ratio:.3} < {min_ratio}"
+    );
+}
+
+fn run_trial(
+    dataset: &Arc<atsq_types::Dataset>,
+    engine: &Arc<Engine>,
+    tracing: bool,
+    requests: usize,
+) -> (f64, f64, f64) {
+    let service = Service::start(
+        dataset.clone(),
+        engine.clone(),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            tracing,
+            slowlog_capacity: 128,
+            slowlog_threshold: Duration::ZERO,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::bind(service.handle(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    let report = run_loadgen(
+        &addr,
+        dataset,
+        &LoadgenConfig {
+            concurrency: 8,
+            requests,
+            pool: 64,
+            k: 9,
+            ..LoadgenConfig::default()
+        },
+    )
+    .expect("loadgen");
+    assert_eq!(report.ok, requests as u64, "every request must succeed");
+    server.stop();
+    service.shutdown();
+    (report.qps, report.p50_ms, report.p99_ms)
+}

@@ -415,8 +415,10 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "shards",
             "partition",
             "index-cache",
+            "slowlog-ms",
+            "slowlog-capacity",
         ],
-        &[],
+        &["no-tracing"],
     )?;
     let dataset = load_dataset(f.require("data")?)?;
     let defaults = ServiceConfig::default();
@@ -434,6 +436,11 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         shards,
         partition,
         index_cache: f.get("index-cache").map(std::path::PathBuf::from),
+        tracing: !f.has("no-tracing"),
+        slowlog_capacity: f.num("slowlog-capacity", defaults.slowlog_capacity)?,
+        slowlog_threshold: Duration::from_millis(
+            f.num("slowlog-ms", defaults.slowlog_threshold.as_millis() as u64)?,
+        ),
     };
     let duration_s: u64 = f.num("duration-s", 0)?;
     let n = dataset.len();
@@ -487,6 +494,7 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "acts-per-point",
             "deadline-ms",
             "seed",
+            "latency-out",
         ],
         &["verify"],
     )?;
@@ -507,6 +515,7 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .transpose()?,
         verify: f.has("verify"),
         seed: f.num("seed", defaults.seed)?,
+        latency_out: f.get("latency-out").map(std::path::PathBuf::from),
     };
     let report = atsq_service::run_loadgen(addr, &dataset, &cfg).map_err(CliError::Io)?;
     writeln!(out, "{report}")?;
@@ -515,6 +524,81 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "{} responses disagreed with the local engine",
             report.incorrect
         ))));
+    }
+    Ok(())
+}
+
+/// One-shot request/response against a running `atsq serve`: sends a
+/// single op line, returns the parsed reply.
+fn wire_call(addr: &str, op: &str) -> Result<atsq_service::json::Value, CliError> {
+    use std::io::BufRead;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    stream.write_all(format!("{{\"op\":\"{op}\"}}\n").as_bytes())?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    let value = atsq_service::json::parse(reply.trim())
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("bad {op} reply: {e}"))))?;
+    if let Some(err) = value
+        .get("error")
+        .and_then(atsq_service::json::Value::as_str)
+    {
+        return Err(CliError::Io(std::io::Error::other(err.to_owned())));
+    }
+    Ok(value)
+}
+
+/// `atsq metrics` — fetch a server's Prometheus metrics page.
+pub fn metrics(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let f = parse(argv, &["addr"], &[])?;
+    let value = wire_call(f.require("addr")?, "metrics")?;
+    let text = value
+        .get("metrics")
+        .and_then(atsq_service::json::Value::as_str)
+        .ok_or_else(|| CliError::Io(std::io::Error::other("reply lacks `metrics` text")))?;
+    write!(out, "{text}")?;
+    Ok(())
+}
+
+/// `atsq slowlog` — fetch and pretty-print a server's slow-query log.
+pub fn slowlog(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use atsq_service::json::Value;
+    let f = parse(argv, &["addr"], &[])?;
+    let value = wire_call(f.require("addr")?, "slowlog")?;
+    let entries = value
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CliError::Io(std::io::Error::other("reply lacks `entries`")))?;
+    if entries.is_empty() {
+        writeln!(out, "slow-query log is empty")?;
+        return Ok(());
+    }
+    for e in entries {
+        let num = |v: Option<&Value>| v.and_then(Value::as_f64).unwrap_or(0.0);
+        let id = num(e.get("request_id")) as u64;
+        let op = e.get("op").and_then(Value::as_str).unwrap_or("?");
+        let status = e.get("status").and_then(Value::as_str).unwrap_or("?");
+        let total_ms = num(e.get("total_ms"));
+        let age_s = num(e.get("age_s"));
+        write!(
+            out,
+            "#{id} {op} {status} {total_ms:.3} ms ({age_s:.1}s ago)  stages:"
+        )?;
+        if let Some(stages) = e.get("stages") {
+            for stage in ["admission", "queue", "cache", "assembly", "engine", "reply"] {
+                write!(out, " {stage}={:.3}", num(stages.get(stage)))?;
+            }
+        }
+        if let Some(counters) = e.get("counters") {
+            write!(
+                out,
+                "  candidates={} distance_evals={}",
+                num(counters.get("candidates")) as u64,
+                num(counters.get("distance_evals")) as u64,
+            )?;
+        }
+        writeln!(out)?;
     }
     Ok(())
 }
@@ -969,6 +1053,76 @@ u2,34.10,-118.30,20,hiking with a view
         server.stop();
         service.shutdown();
         std::fs::remove_file(snap).ok();
+    }
+
+    /// The observability surface end to end at the CLI: drive a live
+    /// server with `loadgen --latency-out`, then scrape `metrics` and
+    /// `slowlog`.
+    #[test]
+    fn metrics_and_slowlog_commands_scrape_a_live_server() {
+        let dir = std::env::temp_dir().join("atsq_cli_test_obs");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("obs.atsq");
+        let snap = snap.to_str().unwrap();
+        run_ok(&["generate", "--city", "tiny", "--seed", "17", "--out", snap]);
+
+        let dataset = load_dataset(snap).unwrap();
+        let service = Service::build(
+            dataset,
+            ServiceConfig {
+                workers: 2,
+                slowlog_threshold: Duration::ZERO, // record every request
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let latency_file = dir.join("latency.jsonl");
+        let report = run_ok(&[
+            "loadgen",
+            "--data",
+            snap,
+            "--addr",
+            &addr,
+            "--concurrency",
+            "2",
+            "--requests",
+            "30",
+            "--pool",
+            "8",
+            "--k",
+            "4",
+            "--latency-out",
+            latency_file.to_str().unwrap(),
+        ]);
+        assert!(report.contains("ok 30"), "{report}");
+        let records = std::fs::read_to_string(&latency_file).unwrap();
+        assert_eq!(records.lines().count(), 30);
+        assert!(records.lines().all(|l| l.contains("\"request_id\":")));
+
+        let page = run_ok(&["metrics", "--addr", &addr]);
+        assert!(
+            page.contains("atsq_requests_completed_total 30\n"),
+            "{page}"
+        );
+        assert!(page.contains("atsq_latency_seconds_count 30\n"), "{page}");
+        assert!(page.contains("atsq_engine_candidates_total"), "{page}");
+        assert!(
+            page.contains("atsq_stage_seconds_total{stage=\"engine\"}"),
+            "{page}"
+        );
+
+        let log = run_ok(&["slowlog", "--addr", &addr]);
+        assert!(log.contains("stages:"), "{log}");
+        assert!(log.contains("engine="), "{log}");
+        assert!(log.contains("candidates="), "{log}");
+
+        server.stop();
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -68,10 +68,13 @@ USAGE:
                 [--queue N] [--batch N] [--batch-threads N] [--cache N]
                 [--deadline-ms MS] [--duration-s S] [--shards S]
                 [--partition hash|spatial] [--index-cache DIR]
+                [--slowlog-ms MS] [--slowlog-capacity N] [--no-tracing]
   atsq loadgen  --data FILE --addr HOST:PORT [--concurrency N]
                 [--requests N] [--k N] [--pool N] [--zipf S]
                 [--query-points N] [--acts-per-point N] [--seed N]
-                [--deadline-ms MS] [--verify]
+                [--deadline-ms MS] [--verify] [--latency-out FILE]
+  atsq metrics  --addr HOST:PORT
+  atsq slowlog  --addr HOST:PORT
 
 Datasets are `atsq v1` text snapshots (see atsq-io). Activities in
 --stop are names from the dataset vocabulary. With --tips the CSV's
@@ -89,9 +92,14 @@ missing snapshot silently falls back to a fresh build and re-saves.
 
 `serve` answers newline-delimited JSON over TCP, e.g.
   {\"op\":\"atsq\",\"k\":5,\"stops\":[{\"x\":12.0,\"y\":7.5,\"acts\":[\"coffee\"]}]}
-(`op` also: oatsq, atsq_range/oatsq_range with `tau`, stats, ping).
+(`op` also: oatsq, atsq_range/oatsq_range with `tau`, stats, metrics,
+slowlog, ping). Query responses echo a service-assigned `request_id`.
 `loadgen` drives a running server closed-loop with Zipf-skewed query
-reuse; --verify checks every response against a local engine.";
+reuse; --verify checks every response against a local engine and
+--latency-out writes one JSON record (request id, status, latency) per
+request. `metrics` prints the server's Prometheus exposition;
+`slowlog` prints its slow-query log (per-request stage breakdown and
+engine counters; see --slowlog-ms / --slowlog-capacity on serve).";
 
 /// Entry point shared by `main` and tests.
 pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -108,6 +116,8 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "bench" => commands::bench(rest, out),
         "serve" => commands::serve(rest, out),
         "loadgen" => commands::loadgen(rest, out),
+        "metrics" => commands::metrics(rest, out),
+        "slowlog" => commands::slowlog(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())

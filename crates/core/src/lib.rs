@@ -59,7 +59,7 @@ pub use atsq_gat::{
 };
 pub use atsq_matching as matching;
 pub use atsq_types as types;
-pub use batch::{run_batch, QueryKind};
+pub use batch::{run_batch, run_batch_with_sinks, QueryKind};
 pub use profile::{EngineCounters, Profiled};
 
 use atsq_types::{Dataset, Query, QueryResult, Result};

@@ -30,12 +30,32 @@ pub struct EngineCounters {
 }
 
 impl EngineCounters {
-    /// Fraction of candidates eliminated before a distance evaluation.
+    /// Fraction of candidates eliminated before a distance evaluation,
+    /// clamped to `[0, 1]`. The raw counters can transiently report
+    /// `distance_evals > candidates` when a reset races in-flight
+    /// queries (see `IoStats::reset` in `atsq-gat`); a monitoring
+    /// ratio must saturate at zero rather than go negative.
     pub fn prune_ratio(&self) -> f64 {
         if self.candidates == 0 {
             0.0
         } else {
-            1.0 - self.distance_evals as f64 / self.candidates as f64
+            (1.0 - self.distance_evals as f64 / self.candidates as f64).max(0.0)
+        }
+    }
+}
+
+/// A per-query counter delta from `atsq-obs` maps onto the same
+/// vocabulary as the engine-lifetime counters, including the derived
+/// TAS-pruned figure.
+impl From<atsq_obs::QueryCounters> for EngineCounters {
+    fn from(c: atsq_obs::QueryCounters) -> EngineCounters {
+        EngineCounters {
+            candidates: c.candidates,
+            distance_evals: c.distance_evals,
+            tas_pruned: c.tas_checks.saturating_sub(c.apl_reads),
+            tas_false_positives: c.tas_false_positives,
+            apl_reads: c.apl_reads,
+            cold_reads: c.cold_reads,
         }
     }
 }
@@ -155,6 +175,16 @@ impl Engine {
             other => vec![other.counters()],
         }
     }
+
+    /// Accumulated engine busy time per shard in nanoseconds — one
+    /// entry per shard for the sharded engine, empty otherwise (an
+    /// unsharded engine has no internal parallelism to account).
+    pub fn per_shard_busy_ns(&self) -> Vec<u64> {
+        match self {
+            Engine::Sharded(e) => e.per_shard_busy_ns(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +249,46 @@ mod tests {
         };
         assert!((c.prune_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(EngineCounters::default().prune_ratio(), 0.0);
+    }
+
+    /// A reset racing in-flight queries can leave
+    /// `distance_evals > candidates`; the ratio must clamp at zero,
+    /// not report a negative pruning fraction.
+    #[test]
+    fn prune_ratio_clamps_at_zero_under_torn_counters() {
+        let torn = EngineCounters {
+            candidates: 3,
+            distance_evals: 10,
+            ..EngineCounters::default()
+        };
+        assert_eq!(torn.prune_ratio(), 0.0);
+        // And a fully-unpruned engine reports exactly zero.
+        let even = EngineCounters {
+            candidates: 5,
+            distance_evals: 5,
+            ..EngineCounters::default()
+        };
+        assert_eq!(even.prune_ratio(), 0.0);
+    }
+
+    /// The obs-layer per-query delta converts with the same derived
+    /// TAS-pruned rule as the engine-lifetime mapping.
+    #[test]
+    fn query_counters_convert_to_engine_counters() {
+        let qc = atsq_obs::QueryCounters {
+            candidates: 10,
+            distance_evals: 4,
+            tas_checks: 9,
+            tas_false_positives: 1,
+            apl_reads: 6,
+            cold_reads: 2,
+        };
+        let ec = EngineCounters::from(qc);
+        assert_eq!(ec.candidates, 10);
+        assert_eq!(ec.distance_evals, 4);
+        assert_eq!(ec.tas_pruned, 3);
+        assert_eq!(ec.tas_false_positives, 1);
+        assert_eq!(ec.apl_reads, 6);
+        assert_eq!(ec.cold_reads, 2);
     }
 }

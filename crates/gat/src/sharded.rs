@@ -220,10 +220,13 @@ impl ShardedEngine {
             .collect()
     }
 
-    /// Zeroes every shard's I/O counters and busy-time accounting.
+    /// Zeroes every shard's I/O counters, APL pool statistics and
+    /// busy-time accounting — the sharded equivalent of the
+    /// single-index full counter reset.
     pub fn reset_stats(&self) {
         for s in &self.shards {
             s.index.stats().reset();
+            s.index.apl().reset_pool_stats();
             s.busy_ns.store(0, std::sync::atomic::Ordering::Relaxed);
         }
     }
@@ -305,13 +308,17 @@ impl ShardedEngine {
         k: usize,
         run: impl Fn(&Shard, &Query) -> Result<Vec<QueryResult>> + Sync,
     ) -> Result<Vec<QueryResult>> {
-        let run = |shard: &Shard, query: &Query| {
+        let run = |i: usize, query: &Query| {
+            let shard = &self.shards[i];
             let t0 = std::time::Instant::now();
             let out = run(shard, query);
-            shard.busy_ns.fetch_add(
-                t0.elapsed().as_nanos() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+            let ns = t0.elapsed().as_nanos() as u64;
+            shard
+                .busy_ns
+                .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+            // Attribute the same busy time to the active per-query
+            // counter context, keyed by shard (no-op outside a scope).
+            atsq_obs::record_shard_busy(i, ns);
             out
         };
         let qc = centroid(query.points.iter().map(|p| p.loc));
@@ -331,7 +338,7 @@ impl ShardedEngine {
             (0..self.shards.len()).map(|_| None).collect();
         if threads <= 1 || order.len() <= 1 {
             for &i in &order {
-                per_shard[i] = Some(run(&self.shards[i], query));
+                per_shard[i] = Some(run(i, query));
             }
         } else {
             let slots: Vec<std::sync::Mutex<Option<Result<Vec<QueryResult>>>>> = per_shard
@@ -339,14 +346,23 @@ impl ShardedEngine {
                 .map(|_| std::sync::Mutex::new(None))
                 .collect();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
+            // The coordinating thread's per-query counter context (if
+            // any) must follow the work onto the shard workers, or the
+            // query's I/O counts would vanish into untracked threads.
+            let sink = atsq_obs::current_sink();
             // `scope` joins every worker and re-raises panics before
             // returning, so every slot is filled on exit.
             std::thread::scope(|scope| {
+                let (run, slots, order, cursor) = (&run, &slots, &order, &cursor);
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let next = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&i) = order.get(next) else { break };
-                        *slots[i].lock().expect("shard slot") = Some(run(&self.shards[i], query));
+                    let sink = sink.clone();
+                    scope.spawn(move || {
+                        let _ctx = sink.map(atsq_obs::CounterScope::enter);
+                        loop {
+                            let next = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&i) = order.get(next) else { break };
+                            *slots[i].lock().expect("shard slot") = Some(run(i, query));
+                        }
                     });
                 }
             });

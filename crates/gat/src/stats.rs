@@ -6,6 +6,12 @@
 //! experiments, so every access that the paper would serve from disk
 //! increments a counter here. Counters are atomic so a shared index
 //! can be queried concurrently.
+//!
+//! Each `record_*` additionally feeds the per-query counter context
+//! of [`atsq_obs::counters`]: when the calling thread is inside a
+//! [`atsq_obs::CounterScope`], the same event is attributed to that
+//! one query's sink. Without an active scope the extra call is a
+//! thread-local flag test, so the lifetime counters stay cheap.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -29,31 +35,37 @@ impl IoStats {
     /// Records a HICL access below the memory-resident levels.
     pub fn record_hicl_cold_read(&self) {
         self.hicl_cold_reads.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_cold_read();
     }
 
     /// Records one APL posting-list fetch.
     pub fn record_apl_read(&self) {
         self.apl_reads.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_apl_read();
     }
 
     /// Records one TAS containment check.
     pub fn record_tas_check(&self) {
         self.tas_checks.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_tas_check();
     }
 
     /// Records a TAS check that passed but was refuted by the APL.
     pub fn record_tas_false_positive(&self) {
         self.tas_false_positives.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_tas_false_positive();
     }
 
     /// Records one candidate trajectory entering the candidate set.
     pub fn record_candidate(&self) {
         self.candidates_retrieved.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_candidate();
     }
 
     /// Records one full match-distance evaluation.
     pub fn record_distance(&self) {
         self.distances_computed.fetch_add(1, Ordering::Relaxed);
+        atsq_obs::record_distance_eval();
     }
 
     /// Snapshot of all counters.
@@ -69,6 +81,18 @@ impl IoStats {
     }
 
     /// Resets every counter to zero.
+    ///
+    /// Counters are reset one at a time with relaxed stores, so a
+    /// reset that races concurrent queries **tears**: a query in
+    /// flight may land some of its increments before the reset and the
+    /// rest after, leaving the aggregates approximate (e.g. a snapshot
+    /// can briefly show `distances_computed > candidates_retrieved`).
+    /// This is intentional — the hot-path counters stay wait-free, and
+    /// derived consumers clamp instead of trusting cross-counter
+    /// invariants (see `EngineCounters::prune_ratio` in `atsq-core`).
+    /// Reset while the index is quiesced for exact aggregates; for
+    /// exact *per-query* attribution under concurrency, use the scoped
+    /// contexts in [`atsq_obs::counters`] instead of snapshot diffs.
     pub fn reset(&self) {
         self.hicl_cold_reads.store(0, Ordering::Relaxed);
         self.apl_reads.store(0, Ordering::Relaxed);

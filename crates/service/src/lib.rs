@@ -30,7 +30,13 @@
 //!   answered [`Response::Expired`] without touching the engine.
 //! * **Observability** — [`StatsSnapshot`] reports QPS, p50/p99
 //!   latency, cache hit rate, queue depth and the underlying
-//!   [`EngineCounters`](atsq_core::EngineCounters).
+//!   [`EngineCounters`](atsq_core::EngineCounters). With
+//!   [`ServiceConfig::tracing`] on (the default), every request gets a
+//!   service-assigned id (echoed on the wire), a per-stage
+//!   [`StageClock`](atsq_obs::StageClock) whose durations telescope to
+//!   the end-to-end latency, and an exact per-query engine-counter
+//!   delta; slow requests land in a bounded slow-query log, and the
+//!   whole surface is scrapable as Prometheus text via [`metrics`].
 //!
 //! The [`server`] module exposes a service over newline-delimited JSON
 //! on TCP; [`loadgen`] is the matching closed-loop load generator with
@@ -68,6 +74,7 @@
 pub mod cache;
 pub mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -80,5 +87,5 @@ pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{CacheKey, Request, Response};
 pub use server::Server;
-pub use service::{Service, ServiceConfig, ServiceHandle, SubmitError, Ticket};
+pub use service::{Service, ServiceConfig, ServiceHandle, StartupInfo, SubmitError, Ticket};
 pub use stats::{percentile_sorted, ServiceStats, StatsSnapshot};

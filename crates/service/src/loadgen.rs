@@ -8,7 +8,7 @@
 //! [`GatEngine`](atsq_core::GatEngine) answers computed locally.
 
 use crate::stats::percentile_sorted;
-use crate::wire::{decode_server_reply, encode_request, ServerReply};
+use crate::wire::{decode_server_reply_full, encode_request, ServerReply};
 use crate::Request;
 use atsq_core::{GatEngine, QueryEngine};
 use atsq_datagen::{generate_queries, QueryGenConfig, Zipf};
@@ -44,6 +44,10 @@ pub struct LoadgenConfig {
     pub verify: bool,
     /// Workload RNG seed.
     pub seed: u64,
+    /// When set, write one JSON line per request — sequence number,
+    /// server-assigned request id, status, cached flag and latency —
+    /// to this path after the run.
+    pub latency_out: Option<std::path::PathBuf>,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +63,7 @@ impl Default for LoadgenConfig {
             deadline_ms: None,
             verify: false,
             seed: 0x10AD,
+            latency_out: None,
         }
     }
 }
@@ -123,6 +128,30 @@ impl std::fmt::Display for LoadgenReport {
 struct ThreadTally {
     report: LoadgenReport,
     latencies_ms: Vec<f64>,
+    /// Per-request JSON record lines, collected only when
+    /// [`LoadgenConfig::latency_out`] is set.
+    records: Vec<String>,
+}
+
+/// Formats one latency-record line: the client-side sequence number,
+/// the server's echoed request id (absent when the server did not
+/// attach one), terminal status, cached flag and client latency.
+fn record_line(
+    seq: usize,
+    request_id: Option<u64>,
+    status: &str,
+    cached: bool,
+    latency_ms: f64,
+) -> String {
+    use crate::json::{obj, Value};
+    let mut members = vec![("seq", Value::Num(seq as f64))];
+    if let Some(id) = request_id {
+        members.push(("request_id", Value::Num(id as f64)));
+    }
+    members.push(("status", Value::Str(status.into())));
+    members.push(("cached", Value::Bool(cached)));
+    members.push(("latency_ms", Value::Num(latency_ms)));
+    obj(members).to_json()
 }
 
 /// Runs the closed-loop workload against `addr`. The dataset must be
@@ -177,6 +206,7 @@ pub fn run_loadgen(
                             ThreadTally {
                                 report: LoadgenReport::default(),
                                 latencies_ms: Vec::new(),
+                                records: Vec::new(),
                             }
                         }
                     }
@@ -195,6 +225,7 @@ pub fn run_loadgen(
 
     let mut report = LoadgenReport::default();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut records: Vec<String> = Vec::new();
     for t in tallies {
         report.sent += t.report.sent;
         report.ok += t.report.ok;
@@ -204,6 +235,20 @@ pub fn run_loadgen(
         report.errors += t.report.errors;
         report.incorrect += t.report.incorrect;
         latencies.extend(t.latencies_ms);
+        records.extend(t.records);
+    }
+    if let Some(path) = &cfg.latency_out {
+        records.sort_unstable_by_key(|line| {
+            crate::json::parse(line)
+                .ok()
+                .and_then(|v| v.get("seq").and_then(crate::json::Value::as_usize))
+                .unwrap_or(usize::MAX)
+        });
+        let mut body = records.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(path, body)?;
     }
     report.wall = wall;
     report.qps = report.ok as f64 / wall.as_secs_f64().max(1e-9);
@@ -236,9 +281,11 @@ fn client_loop(
     let mut tally = ThreadTally {
         report: LoadgenReport::default(),
         latencies_ms: Vec::new(),
+        records: Vec::new(),
     };
     loop {
-        if issued.fetch_add(1, Ordering::Relaxed) >= cfg.requests {
+        let seq = issued.fetch_add(1, Ordering::Relaxed);
+        if seq >= cfg.requests {
             break;
         }
         let qi = zipf.sample(&mut rng);
@@ -258,24 +305,36 @@ fn client_loop(
             ));
         }
         tally.report.sent += 1;
-        match decode_server_reply(reply.trim()) {
-            Ok(ServerReply::Ok { results, cached }) => {
+        let latency_ms = sent_at.elapsed().as_secs_f64() * 1e3;
+        let decoded = decode_server_reply_full(reply.trim());
+        let (request_id, cached, status) = match &decoded {
+            Ok((id, ServerReply::Ok { cached, .. })) => (*id, *cached, "ok"),
+            Ok((id, ServerReply::Expired)) => (*id, false, "expired"),
+            Ok((id, ServerReply::Rejected(_))) => (*id, false, "rejected"),
+            Ok((id, ServerReply::Error(_))) => (*id, false, "error"),
+            Err(_) => (None, false, "error"),
+        };
+        match decoded {
+            Ok((_, ServerReply::Ok { results, cached: c })) => {
                 tally.report.ok += 1;
-                if cached {
+                if c {
                     tally.report.cached += 1;
                 }
-                tally
-                    .latencies_ms
-                    .push(sent_at.elapsed().as_secs_f64() * 1e3);
+                tally.latencies_ms.push(latency_ms);
                 if let Some(expected) = expected {
                     if !results_match(&results, &expected[qi]) {
                         tally.report.incorrect += 1;
                     }
                 }
             }
-            Ok(ServerReply::Expired) => tally.report.expired += 1,
-            Ok(ServerReply::Rejected(_)) => tally.report.rejected += 1,
-            Ok(ServerReply::Error(_)) | Err(_) => tally.report.errors += 1,
+            Ok((_, ServerReply::Expired)) => tally.report.expired += 1,
+            Ok((_, ServerReply::Rejected(_))) => tally.report.rejected += 1,
+            Ok((_, ServerReply::Error(_))) | Err(_) => tally.report.errors += 1,
+        }
+        if cfg.latency_out.is_some() {
+            tally
+                .records
+                .push(record_line(seq, request_id, status, cached, latency_ms));
         }
     }
     Ok(tally)
@@ -350,6 +409,71 @@ mod tests {
         assert!(report.qps > 0.0);
         assert!(report.p50_ms <= report.p99_ms);
         assert!(report.server_cache_hit_rate.unwrap() > 0.0, "{report}");
+
+        server.stop();
+        service.shutdown();
+    }
+
+    /// `latency_out` writes one parseable record per request, in
+    /// sequence order, each carrying a distinct server request id.
+    #[test]
+    fn latency_out_writes_per_request_records() {
+        let dataset = generate(&CityConfig::tiny(7)).unwrap();
+        let service = Service::build(
+            dataset.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let path =
+            std::env::temp_dir().join(format!("atsq-latency-test-{}.jsonl", std::process::id()));
+
+        let report = run_loadgen(
+            &addr,
+            &dataset,
+            &LoadgenConfig {
+                concurrency: 2,
+                requests: 40,
+                pool: 5,
+                k: 3,
+                latency_out: Some(path.clone()),
+                ..LoadgenConfig::default()
+            },
+        )
+        .unwrap();
+
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len() as u64, report.sent);
+        let mut ids = std::collections::HashSet::new();
+        for (i, line) in lines.iter().enumerate() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(
+                v.get("seq").and_then(crate::json::Value::as_usize),
+                Some(i),
+                "records are merged in sequence order"
+            );
+            assert_eq!(
+                v.get("status").and_then(crate::json::Value::as_str),
+                Some("ok")
+            );
+            let id = v
+                .get("request_id")
+                .and_then(crate::json::Value::as_f64)
+                .expect("ok records carry the server's request id") as u64;
+            assert!(ids.insert(id), "request ids are unique");
+            assert!(
+                v.get("latency_ms")
+                    .and_then(crate::json::Value::as_f64)
+                    .unwrap()
+                    >= 0.0
+            );
+        }
 
         server.stop();
         service.shutdown();

@@ -159,6 +159,8 @@ fn respond(line: &str, handle: &ServiceHandle) -> String {
         ])
         .to_json(),
         wire::ClientMessage::Stats => wire::encode_stats(&handle.stats()).to_json(),
+        wire::ClientMessage::Metrics => wire::encode_metrics(&handle.metrics_text()).to_json(),
+        wire::ClientMessage::Slowlog => wire::encode_slowlog(&handle.slowlog()).to_json(),
         wire::ClientMessage::Query(request, deadline) => {
             let submitted = match deadline {
                 Some(d) => handle.submit_with_deadline(request, Some(d)),
@@ -166,10 +168,18 @@ fn respond(line: &str, handle: &ServiceHandle) -> String {
             };
             match submitted {
                 Err(e) => wire::encode_submit_error(&e).to_json(),
-                Ok(ticket) => match ticket.wait() {
-                    Some(response) => wire::encode_response(&response).to_json(),
-                    None => wire::encode_error("service stopped").to_json(),
-                },
+                Ok(ticket) => {
+                    let id = ticket.request_id();
+                    match ticket.wait() {
+                        Some(response) => {
+                            let t0 = std::time::Instant::now();
+                            let reply = wire::encode_response(&response, Some(id)).to_json();
+                            handle.record_serialize(t0.elapsed());
+                            reply
+                        }
+                        None => wire::encode_error("service stopped").to_json(),
+                    }
+                }
             }
         }
     }
@@ -215,7 +225,9 @@ mod tests {
             stream.write_all(b"\n").unwrap();
             let mut reply = String::new();
             reader.read_line(&mut reply).unwrap();
-            match decode_server_reply(&reply).unwrap() {
+            let (request_id, decoded) = crate::wire::decode_server_reply_full(&reply).unwrap();
+            assert!(request_id.is_some(), "query replies echo a request id");
+            match decoded {
                 ServerReply::Ok { results, .. } => {
                     let direct = handle.engine().atsq(handle.dataset(), q, 5);
                     assert_eq!(results.len(), direct.len());
@@ -239,6 +251,34 @@ mod tests {
                 .and_then(crate::json::Value::as_usize),
             Some(queries.len())
         );
+
+        // Metrics over the wire: the Prometheus page rides in a JSON
+        // envelope and carries the request counters just exercised.
+        stream.write_all(b"{\"op\":\"metrics\"}\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let page = crate::json::parse(reply.trim()).unwrap();
+        let text = page
+            .get("metrics")
+            .and_then(crate::json::Value::as_str)
+            .unwrap();
+        assert!(
+            text.contains(&format!(
+                "atsq_requests_completed_total {}\n",
+                queries.len()
+            )),
+            "{text}"
+        );
+
+        // Slow log over the wire: decodes to an entries array.
+        stream.write_all(b"{\"op\":\"slowlog\"}\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let log = crate::json::parse(reply.trim()).unwrap();
+        assert!(log
+            .get("entries")
+            .and_then(crate::json::Value::as_arr)
+            .is_some());
 
         // Garbage gets an error response, not a dropped connection.
         stream.write_all(b"garbage\n").unwrap();

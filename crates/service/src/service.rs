@@ -4,9 +4,13 @@ use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{CacheKey, Request, Response};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use atsq_core::{run_batch, CacheOutcome, Engine, IndexCache, Partition, QueryEngine, QueryKind};
+use atsq_core::{
+    run_batch_with_sinks, CacheOutcome, Engine, IndexCache, Partition, QueryEngine, QueryKind,
+};
+use atsq_obs::{CounterScope, CounterSink, SlowEntry, SlowLog, Stage, StageClock, TraceReport};
 use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -49,6 +53,19 @@ pub struct ServiceConfig {
     /// falls back to a fresh build whose snapshot is saved for the
     /// next start. `None` always builds in process.
     pub index_cache: Option<std::path::PathBuf>,
+    /// Per-request tracing: every request carries a [`StageClock`] and
+    /// a per-query counter scope, producing a [`TraceReport`] (stage
+    /// breakdown + engine work delta) alongside its response. Off, a
+    /// request costs no clock reads or sink allocations and the slow
+    /// log stays empty.
+    pub tracing: bool,
+    /// Slow-query log ring size; zero disables the log.
+    pub slowlog_capacity: usize,
+    /// End-to-end latency at or above which a traced request is
+    /// recorded in the slow log. Requests at or above the live p99
+    /// bucket are recorded regardless (always-sample-the-tail), and
+    /// `Duration::ZERO` records every traced request.
+    pub slowlog_threshold: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +80,9 @@ impl Default for ServiceConfig {
             shards: 1,
             partition: Partition::Hash,
             index_cache: None,
+            tracing: true,
+            slowlog_capacity: 128,
+            slowlog_threshold: Duration::from_millis(50),
         }
     }
 }
@@ -88,11 +108,35 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 struct Job {
+    /// Service-assigned request id, echoed on the wire and carried by
+    /// the request's [`TraceReport`].
+    id: u64,
     request: Request,
     key: CacheKey,
     enqueued: Instant,
     deadline: Option<Instant>,
-    reply: mpsc::Sender<Response>,
+    /// Stage timer; present iff tracing is on for this request.
+    clock: Option<StageClock>,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// What travels back through a [`Ticket`]: the response plus, when
+/// tracing is on, the request's trace.
+struct Reply {
+    response: Response,
+    report: Option<TraceReport>,
+}
+
+/// How the served engine came to exist, surfaced on the metrics page.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StartupInfo {
+    /// Wall-clock time of the engine build (or snapshot load) at
+    /// service start. `None` when the service was started over an
+    /// already-built engine ([`Service::start`]).
+    pub engine_build: Option<Duration>,
+    /// Whether a persistent index snapshot was loaded (`None`: no
+    /// index cache was configured).
+    pub loaded_from_snapshot: Option<bool>,
 }
 
 struct Shared {
@@ -102,6 +146,9 @@ struct Shared {
     cache: Mutex<LruCache<CacheKey, Arc<Vec<QueryResult>>>>,
     stats: ServiceStats,
     config: ServiceConfig,
+    next_request_id: AtomicU64,
+    slowlog: SlowLog,
+    startup: Mutex<StartupInfo>,
 }
 
 /// A running query service: worker pool + queue + cache around one
@@ -134,12 +181,16 @@ impl Service {
         config: ServiceConfig,
     ) -> LibResult<(Self, Option<CacheOutcome>)> {
         let cache = config.index_cache.as_ref().map(IndexCache::new);
+        let t0 = Instant::now();
         let (engine, outcome) =
             Engine::build_gat(&dataset, config.shards, config.partition, cache.as_ref())?;
-        Ok((
-            Self::start(Arc::new(dataset), Arc::new(engine), config),
-            outcome,
-        ))
+        let startup = StartupInfo {
+            engine_build: Some(t0.elapsed()),
+            loaded_from_snapshot: outcome.as_ref().map(CacheOutcome::loaded),
+        };
+        let service = Self::start(Arc::new(dataset), Arc::new(engine), config);
+        *service.shared.startup.lock().expect("startup info") = startup;
+        Ok((service, outcome))
     }
 
     /// Starts the worker pool over an existing dataset and engine.
@@ -150,6 +201,12 @@ impl Service {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: ServiceStats::default(),
+            next_request_id: AtomicU64::new(0),
+            slowlog: SlowLog::new(
+                config.slowlog_capacity,
+                config.slowlog_threshold.as_nanos().min(u64::MAX as u128) as u64,
+            ),
+            startup: Mutex::new(StartupInfo::default()),
             config: config.clone(),
         });
         let workers = (0..config.workers)
@@ -203,20 +260,33 @@ pub struct ServiceHandle {
 /// A pending response, redeemable exactly once.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Response>,
+    id: u64,
+    rx: mpsc::Receiver<Reply>,
 }
 
 impl Ticket {
+    /// The service-assigned id of the submitted request. Ids are
+    /// unique per service instance and start at 1.
+    pub fn request_id(&self) -> u64 {
+        self.id
+    }
+
     /// Blocks until the response arrives. `None` only if the service
     /// was torn down without draining (workers panicked).
     pub fn wait(self) -> Option<Response> {
-        self.rx.recv().ok()
+        self.rx.recv().ok().map(|r| r.response)
+    }
+
+    /// [`Ticket::wait`], also returning the request's [`TraceReport`]
+    /// when tracing is on ([`ServiceConfig::tracing`]).
+    pub fn wait_with_trace(self) -> Option<(Response, Option<TraceReport>)> {
+        self.rx.recv().ok().map(|r| (r.response, r.report))
     }
 
     /// Waits up to `timeout` for the response, consuming the ticket
     /// either way.
     pub fn wait_timeout(self, timeout: Duration) -> Option<Response> {
-        self.rx.recv_timeout(timeout).ok()
+        self.rx.recv_timeout(timeout).ok().map(|r| r.response)
     }
 }
 
@@ -235,19 +305,30 @@ impl ServiceHandle {
         request: Request,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
+        // The clock starts before any submission work so the admission
+        // stage covers key canonicalisation too; `fetch_add + 1` makes
+        // ids start at 1 (0 reads as "no id" on the wire).
+        let mut clock = self.shared.config.tracing.then(StageClock::start);
+        let id = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
-        let job = Job {
+        let mut job = Job {
+            id,
             key: request.cache_key(),
             request,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            clock: None,
             reply: tx,
         };
+        if let Some(c) = &mut clock {
+            c.mark(Stage::Admission);
+        }
+        job.clock = clock;
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.stats.record_submitted();
-                Ok(Ticket { rx })
+                Ok(Ticket { id, rx })
             }
             Err(PushError::Full(_)) => {
                 self.shared.stats.record_rejected();
@@ -285,6 +366,35 @@ impl ServiceHandle {
     pub fn engine(&self) -> &Arc<Engine> {
         &self.shared.engine
     }
+
+    /// The full metrics surface rendered in Prometheus text format —
+    /// request/cache/queue counters, the latency histogram, per-stage
+    /// and per-shard aggregates, and startup provenance. This backs the
+    /// wire `metrics` op and the `atsq metrics` CLI.
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(
+            &self.stats(),
+            &self.shared.engine.per_shard_busy_ns(),
+            self.shared.slowlog.len(),
+            *self.shared.startup.lock().expect("startup info"),
+        )
+    }
+
+    /// Current slow-query log entries, oldest first. Empty unless
+    /// tracing is on and [`ServiceConfig::slowlog_capacity`] is
+    /// non-zero.
+    pub fn slowlog(&self) -> Vec<SlowEntry> {
+        self.shared.slowlog.entries()
+    }
+
+    /// Records response-serialisation time measured by a front-end
+    /// (the TCP server times its encode and reports it here; encode
+    /// happens after the reply, outside the per-request latency).
+    pub fn record_serialize(&self, elapsed: Duration) {
+        self.shared
+            .stats
+            .record_serialize(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
 }
 
 /// Requests per (kind, k) group that make a `run_batch` worthwhile.
@@ -305,19 +415,27 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     {
         let now = Instant::now();
         let mut cache = shared.cache.lock().expect("cache lock");
-        for job in jobs {
+        for mut job in jobs {
+            if let Some(c) = &mut job.clock {
+                c.mark(Stage::Queue);
+            }
             if job.deadline.is_some_and(|d| d < now) {
                 shared.stats.record_expired();
-                let _ = job.reply.send(Response::Expired);
+                finish(shared, job, Response::Expired, "expired", None);
                 continue;
             }
-            if let Some(hit) = cache.get(&job.key) {
+            let hit = cache.get(&job.key).cloned();
+            if let Some(c) = &mut job.clock {
+                c.mark(Stage::Cache);
+            }
+            if let Some(hit) = hit {
                 shared.stats.record_cache_hit();
                 shared.stats.record_completed(job.enqueued.elapsed());
-                let _ = job.reply.send(Response::Ok {
-                    results: hit.clone(),
+                let ok = Response::Ok {
+                    results: hit,
                     cached: true,
-                });
+                };
+                finish(shared, job, ok, "ok", None);
                 continue;
             }
             runnable.push(job);
@@ -354,6 +472,14 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         }
     }
 
+    // One counter sink per primary: grouped members run concurrently
+    // through `run_batch_with_sinks`, and the scoped contexts keep each
+    // request's engine-counter delta exact despite the sharing.
+    let sinks: Option<Vec<Arc<CounterSink>>> = shared
+        .config
+        .tracing
+        .then(|| primaries.iter().map(|_| CounterSink::new()).collect());
+
     let mut outcomes: Vec<Option<Result<Arc<Vec<QueryResult>>, String>>> =
         (0..primaries.len()).map(|_| None).collect();
     for ((kind, k), members) in groups {
@@ -364,15 +490,28 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
             .iter()
             .map(|&i| primaries[i].request.query().clone())
             .collect();
+        // A later group's assembly stage absorbs earlier groups'
+        // execution time — the batch runs groups serially, and the
+        // telescoping invariant (stages sum to end-to-end) wins over
+        // attributing that wait more finely.
+        for &i in &members {
+            if let Some(c) = &mut primaries[i].clock {
+                c.mark(Stage::Assembly);
+            }
+        }
+        let member_sinks: Option<Vec<Arc<CounterSink>>> = sinks
+            .as_ref()
+            .map(|s| members.iter().map(|&i| s[i].clone()).collect());
         let threads = members.len().min(shared.config.batch_threads.max(1));
         match catch_execution(|| {
-            run_batch(
+            run_batch_with_sinks(
                 shared.engine.as_ref(),
                 &shared.dataset,
                 &queries,
                 k,
                 kind,
                 threads,
+                member_sinks.as_deref(),
             )
         }) {
             Ok(batched) => {
@@ -386,6 +525,11 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
                 }
             }
         }
+        for &i in &members {
+            if let Some(c) = &mut primaries[i].clock {
+                c.mark(Stage::Engine);
+            }
+        }
     }
 
     let mut replies: Vec<Result<Arc<Vec<QueryResult>>, String>> =
@@ -394,23 +538,40 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     // after the loop: one lock round-trip per batch instead of one per
     // executed request keeps the hot path off the mutex.
     let mut inserts: Vec<(CacheKey, Arc<Vec<QueryResult>>)> = Vec::new();
-    for (i, job) in primaries.into_iter().enumerate() {
-        let outcome = outcomes[i].take().unwrap_or_else(|| {
-            catch_execution(|| execute_single(shared, &job.request)).map(Arc::new)
-        });
+    for (i, mut job) in primaries.into_iter().enumerate() {
+        let outcome = match outcomes[i].take() {
+            Some(outcome) => outcome,
+            None => {
+                // Singleton request: runs alone, inside its own sink
+                // scope so its counter delta stays per-query.
+                if let Some(c) = &mut job.clock {
+                    c.mark(Stage::Assembly);
+                }
+                let sink = sinks.as_ref().map(|s| s[i].clone());
+                let outcome = catch_execution(|| {
+                    let _ctx = sink.map(CounterScope::enter);
+                    execute_single(shared, &job.request)
+                })
+                .map(Arc::new);
+                if let Some(c) = &mut job.clock {
+                    c.mark(Stage::Engine);
+                }
+                outcome
+            }
+        };
+        let sink = sinks.as_ref().map(|s| &s[i]);
         match &outcome {
             Ok(results) => {
                 shared.stats.record_cache_miss();
-                send_ok(shared, &job, results, false);
-                // The job is consumed here, so the key moves into the
-                // insert list without a clone.
-                inserts.push((job.key, results.clone()));
+                inserts.push((job.key.clone(), results.clone()));
+                send_ok(shared, job, results, false, sink);
             }
             Err(panic_msg) => {
                 shared.stats.record_failed();
-                let _ = job.reply.send(Response::Failed {
+                let failed = Response::Failed {
                     error: panic_msg.clone(),
-                });
+                };
+                finish(shared, job, failed, "failed", sink);
             }
         }
         replies.push(outcome);
@@ -423,16 +584,20 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     }
 
     for (job, primary) in duplicates {
+        // A duplicate's trace shows zero engine counters — the primary
+        // carries the shared execution's work — and its wait for the
+        // primary lands in the reply stage.
         match &replies[primary] {
             Ok(results) => {
                 shared.stats.record_coalesced();
-                send_ok(shared, &job, results, false);
+                send_ok(shared, job, results, false, None);
             }
             Err(panic_msg) => {
                 shared.stats.record_failed();
-                let _ = job.reply.send(Response::Failed {
+                let failed = Response::Failed {
                     error: panic_msg.clone(),
-                });
+                };
+                finish(shared, job, failed, "failed", None);
             }
         }
     }
@@ -448,17 +613,59 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
 /// `cached` is false for freshly computed results, including ones
 /// coalesced onto an in-batch primary (keeps client-side and
 /// server-side hit rates in step).
-fn send_ok(shared: &Shared, job: &Job, results: &Arc<Vec<QueryResult>>, cached: bool) {
+fn send_ok(
+    shared: &Shared,
+    job: Job,
+    results: &Arc<Vec<QueryResult>>,
+    cached: bool,
+    sink: Option<&Arc<CounterSink>>,
+) {
     if job.deadline.is_some_and(|d| d < Instant::now()) {
         shared.stats.record_expired();
-        let _ = job.reply.send(Response::Expired);
+        finish(shared, job, Response::Expired, "expired", sink);
         return;
     }
     shared.stats.record_completed(job.enqueued.elapsed());
-    let _ = job.reply.send(Response::Ok {
+    let ok = Response::Ok {
         results: results.clone(),
         cached,
+    };
+    finish(shared, job, ok, "ok", sink);
+}
+
+/// Terminal step of every job: stamps the reply stage, folds the trace
+/// into the service-wide stage aggregates, offers it to the slow-query
+/// log (forced for requests at or above the live p99 bucket), and sends
+/// the response through the job's ticket.
+fn finish(
+    shared: &Shared,
+    job: Job,
+    response: Response,
+    status: &'static str,
+    sink: Option<&Arc<CounterSink>>,
+) {
+    let report = job.clock.map(|mut clock| {
+        clock.mark(Stage::Reply);
+        shared.stats.record_stages(&clock.stage_ns());
+        let (counters, shard_busy_ns) = match sink {
+            Some(s) => (s.counters(), s.shard_busy_ns()),
+            None => Default::default(),
+        };
+        let cached = response.is_cached();
+        let report = clock.finish(
+            job.id,
+            job.request.op(),
+            status,
+            cached,
+            counters,
+            shard_busy_ns,
+        );
+        let p99_floor = shared.stats.p99_floor_us().saturating_mul(1_000);
+        let force = p99_floor > 0 && report.total_ns >= p99_floor;
+        shared.slowlog.offer(report.clone(), force);
+        report
     });
+    let _ = job.reply.send(Reply { response, report });
 }
 
 /// Runs engine work, converting a panic into an error string so one
@@ -884,6 +1091,96 @@ mod tests {
         let snap = handle.stats();
         assert_eq!(snap.completed, 160);
         assert!(snap.cache_hits > 0);
+        service.shutdown();
+    }
+
+    /// The attribution acceptance test: with a single-threaded batch
+    /// drain, every request's trace carries a stage breakdown that
+    /// sums *exactly* to its end-to-end latency, and the per-query
+    /// engine-counter deltas sum *exactly* to the engine's lifetime
+    /// totals — no work unattributed, none double-counted.
+    #[test]
+    fn traced_requests_attribute_engine_work_exactly() {
+        use atsq_core::{EngineCounters, Profiled};
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 0,
+            batch_size: 64,
+            batch_threads: 1,
+            cache_capacity: 0,
+            slowlog_capacity: 64,
+            slowlog_threshold: Duration::ZERO,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        handle.engine().reset_counters();
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| {
+                handle
+                    .submit(Request::Atsq {
+                        query: q.clone(),
+                        k: 5,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        service.shared.queue.close();
+        worker_loop(&service.shared);
+
+        let mut ids = std::collections::HashSet::new();
+        let mut summed = atsq_obs::QueryCounters::default();
+        for t in tickets {
+            let id = t.request_id();
+            assert!(id > 0, "request ids start at 1");
+            assert!(ids.insert(id), "request ids are unique");
+            let (response, report) = t.wait_with_trace().unwrap();
+            assert!(response.results().is_some());
+            let report = report.expect("tracing on yields a report");
+            assert_eq!(report.request_id, id);
+            assert_eq!(report.op, "atsq");
+            assert_eq!(report.status, "ok");
+            assert_eq!(
+                report.stage_ns.iter().sum::<u64>(),
+                report.total_ns,
+                "stage breakdown telescopes exactly to the trace latency"
+            );
+            assert!(!report.counters.is_zero(), "cache misses did engine work");
+            summed = summed.add(&report.counters);
+        }
+        assert_eq!(
+            EngineCounters::from(summed),
+            handle.engine().counters(),
+            "per-query deltas sum to the engine's lifetime totals"
+        );
+        // Threshold zero records every traced request in the slow log,
+        // and the wire-facing entries keep the exact breakdown.
+        let entries = handle.slowlog();
+        assert_eq!(entries.len(), queries.len());
+        for e in &entries {
+            assert_eq!(e.report.stage_ns.iter().sum::<u64>(), e.report.total_ns);
+        }
+    }
+
+    #[test]
+    fn tracing_off_yields_no_reports_and_an_empty_slowlog() {
+        let (service, queries) = tiny_service(ServiceConfig {
+            workers: 1,
+            tracing: false,
+            slowlog_threshold: Duration::ZERO,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let ticket = handle
+            .submit(Request::Atsq {
+                query: queries[0].clone(),
+                k: 3,
+            })
+            .unwrap();
+        assert!(ticket.request_id() > 0, "ids are assigned regardless");
+        let (response, report) = ticket.wait_with_trace().unwrap();
+        assert!(response.results().is_some());
+        assert!(report.is_none(), "no tracing, no report");
+        assert!(handle.slowlog().is_empty());
         service.shutdown();
     }
 }

@@ -6,6 +6,7 @@
 //! a snapshot costs one pass over 40 buckets.
 
 use atsq_core::EngineCounters;
+use atsq_obs::STAGES;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -28,6 +29,17 @@ pub struct ServiceStats {
     batched_requests: AtomicU64,
     /// Histogram of end-to-end (enqueue → reply) latency in µs.
     latency_us: [AtomicU64; BUCKETS],
+    /// Sum of completed-request latencies in µs (feeds the Prometheus
+    /// histogram's `_sum` sample).
+    latency_sum_us: AtomicU64,
+    /// Accumulated per-stage nanoseconds across traced requests,
+    /// indexed by [`atsq_obs::Stage`].
+    stage_ns: [AtomicU64; STAGES],
+    /// Accumulated response-serialisation nanoseconds (server-side
+    /// encode, outside the per-request latency window).
+    serialize_ns: AtomicU64,
+    /// Responses whose serialisation was timed.
+    serialize_count: AtomicU64,
     /// QPS window state: `(uptime µs, completion count)` at the last
     /// *consumed* snapshot plus the rate it reported — behind one
     /// mutex so concurrent snapshot takers cannot pair one caller's
@@ -67,6 +79,10 @@ impl Default for ServiceStats {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            serialize_ns: AtomicU64::new(0),
+            serialize_count: AtomicU64::new(0),
             window: std::sync::Mutex::new(QpsWindow::default()),
         }
     }
@@ -129,6 +145,48 @@ impl ServiceStats {
             .max(1);
         let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Folds one traced request's per-stage nanoseconds into the
+    /// service-wide stage aggregates.
+    pub fn record_stages(&self, stage_ns: &[u64; STAGES]) {
+        for (total, &ns) in self.stage_ns.iter().zip(stage_ns) {
+            if ns > 0 {
+                total.fetch_add(ns, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records time spent serialising one response on the wire path.
+    pub fn record_serialize(&self, ns: u64) {
+        self.serialize_ns.fetch_add(ns, Ordering::Relaxed);
+        self.serialize_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower bound (µs) of the histogram bucket containing the current
+    /// p99 latency, or 0 before any completion. The slow-query log uses
+    /// this as its always-sample-the-tail floor: a request at or above
+    /// it is recorded even when the configured threshold is higher.
+    pub fn p99_floor_us(&self) -> u64 {
+        let mut total = 0u64;
+        let hist: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
+        for count in hist {
+            total += count;
+        }
+        if total == 0 {
+            return 0;
+        }
+        let target = nearest_rank(total, 0.99);
+        let mut seen = 0u64;
+        for (i, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        unreachable!("target within total");
     }
 
     /// Consistent-enough snapshot of every counter (individual loads
@@ -181,16 +239,27 @@ impl ServiceStats {
             };
             (completed, uptime, qps)
         };
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let expired = self.expired.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        // Every admitted request terminates in exactly one of
+        // completed / expired / failed, so the difference is the
+        // population currently queued or executing. Saturating: the
+        // relaxed loads are not a consistent cut.
+        let inflight = submitted
+            .saturating_sub(completed)
+            .saturating_sub(expired)
+            .saturating_sub(failed);
         StatsSnapshot {
             uptime,
-            submitted: self.submitted.load(Ordering::Relaxed),
+            submitted,
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
+            expired,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            failed,
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             qps,
@@ -198,6 +267,12 @@ impl ServiceStats {
             p90_ms: percentile_ms(&hist, 0.90),
             p99_ms: percentile_ms(&hist, 0.99),
             queue_depth,
+            inflight,
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            latency_buckets: hist,
+            stage_ns: std::array::from_fn(|i| self.stage_ns[i].load(Ordering::Relaxed)),
+            serialize_ns: self.serialize_ns.load(Ordering::Relaxed),
+            serialize_count: self.serialize_count.load(Ordering::Relaxed),
             engine,
             shard_candidates,
         }
@@ -282,6 +357,21 @@ pub struct StatsSnapshot {
     pub p99_ms: f64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
+    /// Admitted requests not yet terminally answered (queued or
+    /// executing), derived from the terminal counters.
+    pub inflight: u64,
+    /// Sum of completed-request latencies in µs.
+    pub latency_sum_us: u64,
+    /// Raw latency histogram counts; bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs.
+    pub latency_buckets: Vec<u64>,
+    /// Accumulated per-stage nanoseconds across traced requests,
+    /// indexed by [`atsq_obs::Stage`].
+    pub stage_ns: [u64; STAGES],
+    /// Accumulated response-serialisation nanoseconds (wire encode).
+    pub serialize_ns: u64,
+    /// Responses whose serialisation was timed.
+    pub serialize_count: u64,
     /// Work counters of the underlying engine.
     pub engine: EngineCounters,
     /// Candidate counts per shard — one entry per shard for a sharded

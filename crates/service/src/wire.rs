@@ -9,16 +9,22 @@
 //! ```
 //!
 //! * `op` — `atsq` | `oatsq` (with `k`), `atsq_range` | `oatsq_range`
-//!   (with `tau`), `stats`, or `ping`.
+//!   (with `tau`), `stats`, `metrics`, `slowlog`, or `ping`.
 //! * Stops carry activities as names (`acts`, resolved against the
 //!   dataset vocabulary) and/or raw ids (`act_ids`).
 //! * `deadline_ms` (optional) — per-request deadline.
 //! * Response `status` — `ok`, `expired`, `rejected`, or `error`.
+//! * Query responses echo the service-assigned `request_id`, the
+//!   handle that joins a wire reply to its slow-log entry.
+//! * `metrics` answers with the Prometheus exposition text in a
+//!   `metrics` field; `slowlog` answers with an `entries` array of
+//!   per-request traces (stage breakdown in ms, engine counters).
 
 use crate::json::{obj, parse, Value};
 use crate::request::{Request, Response};
 use crate::service::SubmitError;
 use crate::stats::StatsSnapshot;
+use atsq_obs::{SlowEntry, Stage};
 use atsq_types::{
     ActivityId, ActivitySet, Dataset, Point, Query, QueryPoint, QueryResult, TrajectoryId,
 };
@@ -47,6 +53,10 @@ pub enum ClientMessage {
     Query(Request, Option<Duration>),
     /// Stats snapshot request.
     Stats,
+    /// Prometheus metrics-page request.
+    Metrics,
+    /// Slow-query log request.
+    Slowlog,
     /// Liveness probe.
     Ping,
 }
@@ -60,8 +70,11 @@ pub fn decode_client_line(line: &str, dataset: &Dataset) -> Result<ClientMessage
         .ok_or_else(|| bad("missing `op`"))?;
     match op {
         "stats" => return Ok(ClientMessage::Stats),
+        "metrics" => return Ok(ClientMessage::Metrics),
+        "slowlog" => return Ok(ClientMessage::Slowlog),
         "ping" => return Ok(ClientMessage::Ping),
-        _ => {}
+        "atsq" | "oatsq" | "atsq_range" | "oatsq_range" => {}
+        other => return Err(bad(format!("unknown op `{other}`"))),
     }
     let query = decode_query(&value, dataset)?;
     let deadline = match value.get("deadline_ms") {
@@ -185,13 +198,19 @@ pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Value {
     obj(members)
 }
 
-/// Encodes a service response.
-pub fn encode_response(response: &Response) -> Value {
+/// Encodes a service response. `request_id`, when given, is echoed as
+/// a `request_id` member — the client's handle for joining a reply to
+/// the server's slow-query log and latency records.
+pub fn encode_response(response: &Response, request_id: Option<u64>) -> Value {
+    let mut members: Vec<(&str, Value)> = Vec::new();
+    if let Some(id) = request_id {
+        members.push(("request_id", Value::Num(id as f64)));
+    }
     match response {
-        Response::Ok { results, cached } => obj(vec![
-            ("status", Value::Str("ok".into())),
-            ("cached", Value::Bool(*cached)),
-            (
+        Response::Ok { results, cached } => {
+            members.push(("status", Value::Str("ok".into())));
+            members.push(("cached", Value::Bool(*cached)));
+            members.push((
                 "results",
                 Value::Arr(
                     results
@@ -204,14 +223,15 @@ pub fn encode_response(response: &Response) -> Value {
                         })
                         .collect(),
                 ),
-            ),
-        ]),
-        Response::Expired => obj(vec![("status", Value::Str("expired".into()))]),
-        Response::Failed { error } => obj(vec![
-            ("status", Value::Str("error".into())),
-            ("error", Value::Str(error.clone())),
-        ]),
+            ));
+        }
+        Response::Expired => members.push(("status", Value::Str("expired".into()))),
+        Response::Failed { error } => {
+            members.push(("status", Value::Str("error".into())));
+            members.push(("error", Value::Str(error.clone())));
+        }
     }
+    obj(members)
 }
 
 /// Encodes an admission failure.
@@ -231,6 +251,67 @@ pub fn encode_error(message: &str) -> Value {
     obj(vec![
         ("status", Value::Str("error".into())),
         ("error", Value::Str(message.into())),
+    ])
+}
+
+/// Encodes a Prometheus metrics page as a wire reply.
+pub fn encode_metrics(text: &str) -> Value {
+    obj(vec![
+        ("status", Value::Str("ok".into())),
+        ("metrics", Value::Str(text.into())),
+    ])
+}
+
+/// Encodes the slow-query log as a wire reply: one entry per recorded
+/// request, newest last, with the stage breakdown in milliseconds and
+/// the per-query engine counters.
+pub fn encode_slowlog(entries: &[SlowEntry]) -> Value {
+    let encoded: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            let r = &e.report;
+            let stages = obj(Stage::ALL
+                .iter()
+                .map(|&s| (s.name(), Value::Num(r.stage_ns[s as usize] as f64 / 1e6)))
+                .collect());
+            let counters = obj(vec![
+                ("candidates", Value::Num(r.counters.candidates as f64)),
+                (
+                    "distance_evals",
+                    Value::Num(r.counters.distance_evals as f64),
+                ),
+                ("tas_checks", Value::Num(r.counters.tas_checks as f64)),
+                (
+                    "tas_false_positives",
+                    Value::Num(r.counters.tas_false_positives as f64),
+                ),
+                ("apl_reads", Value::Num(r.counters.apl_reads as f64)),
+                ("cold_reads", Value::Num(r.counters.cold_reads as f64)),
+            ]);
+            obj(vec![
+                ("request_id", Value::Num(r.request_id as f64)),
+                ("op", Value::Str(r.op.into())),
+                ("status", Value::Str(r.status.into())),
+                ("cached", Value::Bool(r.cached)),
+                ("age_s", Value::Num(e.recorded_at.elapsed().as_secs_f64())),
+                ("total_ms", Value::Num(r.total_ns as f64 / 1e6)),
+                ("stages", stages),
+                ("counters", counters),
+                (
+                    "shard_busy_ms",
+                    Value::Arr(
+                        r.shard_busy_ns
+                            .iter()
+                            .map(|&ns| Value::Num(ns as f64 / 1e6))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("status", Value::Str("ok".into())),
+        ("entries", Value::Arr(encoded)),
     ])
 }
 
@@ -290,12 +371,22 @@ pub enum ServerReply {
 
 /// Decodes one server response line (client side).
 pub fn decode_server_reply(line: &str) -> Result<ServerReply, WireError> {
+    decode_server_reply_full(line).map(|(_, reply)| reply)
+}
+
+/// Decodes one server response line along with the echoed
+/// `request_id`, when the server attached one.
+pub fn decode_server_reply_full(line: &str) -> Result<(Option<u64>, ServerReply), WireError> {
     let value = parse(line).map_err(|e| bad(e.to_string()))?;
+    let request_id = value
+        .get("request_id")
+        .and_then(Value::as_f64)
+        .map(|n| n as u64);
     let status = value
         .get("status")
         .and_then(Value::as_str)
         .ok_or_else(|| bad("missing `status`"))?;
-    match status {
+    let reply = match status {
         "ok" => {
             let results = match value.get("results") {
                 None => Vec::new(),
@@ -320,25 +411,26 @@ pub fn decode_server_reply(line: &str) -> Result<ServerReply, WireError> {
                 .get("cached")
                 .and_then(Value::as_bool)
                 .unwrap_or(false);
-            Ok(ServerReply::Ok { results, cached })
+            ServerReply::Ok { results, cached }
         }
-        "expired" => Ok(ServerReply::Expired),
-        "rejected" => Ok(ServerReply::Rejected(
+        "expired" => ServerReply::Expired,
+        "rejected" => ServerReply::Rejected(
             value
                 .get("error")
                 .and_then(Value::as_str)
                 .unwrap_or("rejected")
                 .to_owned(),
-        )),
-        "error" => Ok(ServerReply::Error(
+        ),
+        "error" => ServerReply::Error(
             value
                 .get("error")
                 .and_then(Value::as_str)
                 .unwrap_or("error")
                 .to_owned(),
-        )),
-        other => Err(bad(format!("unknown status `{other}`"))),
-    }
+        ),
+        other => return Err(bad(format!("unknown status `{other}`"))),
+    };
+    Ok((request_id, reply))
 }
 
 #[cfg(test)]
@@ -416,6 +508,14 @@ mod tests {
             ClientMessage::Stats
         );
         assert_eq!(
+            decode_client_line(r#"{"op":"metrics"}"#, &ds).unwrap(),
+            ClientMessage::Metrics
+        );
+        assert_eq!(
+            decode_client_line(r#"{"op":"slowlog"}"#, &ds).unwrap(),
+            ClientMessage::Slowlog
+        );
+        assert_eq!(
             decode_client_line(r#"{"op":"ping"}"#, &ds).unwrap(),
             ClientMessage::Ping
         );
@@ -441,12 +541,20 @@ mod tests {
     }
 
     #[test]
+    fn unknown_ops_name_themselves_in_the_error() {
+        // The op is validated before the query body, so a bare unknown
+        // op reports itself rather than a missing-stops complaint.
+        let err = decode_client_line(r#"{"op":"warp"}"#, &dataset()).unwrap_err();
+        assert!(err.to_string().contains("unknown op `warp`"), "{err}");
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let ok = Response::Ok {
             results: Arc::new(vec![QueryResult::new(TrajectoryId(4), 1.75)]),
             cached: true,
         };
-        match decode_server_reply(&encode_response(&ok).to_json()).unwrap() {
+        match decode_server_reply(&encode_response(&ok, None).to_json()).unwrap() {
             ServerReply::Ok { results, cached } => {
                 assert!(cached);
                 assert_eq!(results, vec![QueryResult::new(TrajectoryId(4), 1.75)]);
@@ -454,7 +562,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            decode_server_reply(&encode_response(&Response::Expired).to_json()).unwrap(),
+            decode_server_reply(&encode_response(&Response::Expired, None).to_json()).unwrap(),
             ServerReply::Expired
         );
         match decode_server_reply(&encode_submit_error(&SubmitError::QueueFull).to_json()).unwrap()
@@ -466,5 +574,84 @@ mod tests {
             ServerReply::Error(msg) => assert_eq!(msg, "boom"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn request_ids_echo_through_the_wire() {
+        let ok = Response::Ok {
+            results: Arc::new(Vec::new()),
+            cached: false,
+        };
+        let line = encode_response(&ok, Some(712)).to_json();
+        let (id, reply) = decode_server_reply_full(&line).unwrap();
+        assert_eq!(id, Some(712));
+        assert!(matches!(reply, ServerReply::Ok { .. }));
+        // Replies without an id (tracing off, admission errors) decode
+        // to None rather than erroring.
+        let (id, reply) = decode_server_reply_full(&encode_error("boom").to_json()).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(reply, ServerReply::Error("boom".into()));
+    }
+
+    #[test]
+    fn metrics_reply_carries_exposition_text() {
+        let line = encode_metrics("# HELP x X.\n# TYPE x counter\nx 1\n").to_json();
+        let value = parse(&line).unwrap();
+        assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+        let text = value.get("metrics").and_then(Value::as_str).unwrap();
+        assert!(text.contains("x 1\n"), "{text}");
+    }
+
+    #[test]
+    fn slowlog_reply_breaks_down_stages_and_counters() {
+        use atsq_obs::QueryCounters;
+        use std::time::Instant;
+        let entry = SlowEntry {
+            report: atsq_obs::TraceReport {
+                request_id: 9,
+                op: "atsq",
+                status: "ok",
+                cached: false,
+                total_ns: 6_000_000,
+                stage_ns: [1_000_000, 2_000_000, 500_000, 500_000, 1_500_000, 500_000],
+                counters: QueryCounters {
+                    candidates: 11,
+                    distance_evals: 4,
+                    tas_checks: 10,
+                    tas_false_positives: 1,
+                    apl_reads: 5,
+                    cold_reads: 2,
+                },
+                shard_busy_ns: vec![1_000_000, 500_000],
+            },
+            recorded_at: Instant::now(),
+        };
+        let value = parse(&encode_slowlog(&[entry]).to_json()).unwrap();
+        assert_eq!(value.get("status").and_then(Value::as_str), Some("ok"));
+        let entries = value.get("entries").and_then(Value::as_arr).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("request_id").and_then(Value::as_f64), Some(9.0));
+        assert_eq!(e.get("op").and_then(Value::as_str), Some("atsq"));
+        assert_eq!(e.get("total_ms").and_then(Value::as_f64), Some(6.0));
+        let stages = e.get("stages").unwrap();
+        let mut stage_sum = 0.0;
+        for stage in ["admission", "queue", "cache", "assembly", "engine", "reply"] {
+            stage_sum += stages.get(stage).and_then(Value::as_f64).unwrap();
+        }
+        // The stage breakdown sums exactly to the end-to-end latency.
+        assert_eq!(stage_sum, 6.0);
+        let counters = e.get("counters").unwrap();
+        assert_eq!(
+            counters.get("candidates").and_then(Value::as_f64),
+            Some(11.0)
+        );
+        assert_eq!(
+            counters.get("cold_reads").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        let busy = e.get("shard_busy_ms").and_then(Value::as_arr).unwrap();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].as_f64(), Some(1.0));
     }
 }
