@@ -41,11 +41,13 @@ impl IlEngine {
 
     /// Trajectory fetches performed since the last reset.
     pub fn fetches(&self) -> u64 {
+        // ordering: Relaxed — advisory monotone fetch tally.
         self.fetches.load(Ordering::Relaxed)
     }
 
     /// Resets the fetch counter.
     pub fn reset_fetches(&self) {
+        // ordering: Relaxed — advisory stat reset; callers quiesce.
         self.fetches.store(0, Ordering::Relaxed);
     }
 
@@ -81,6 +83,7 @@ impl IlEngine {
     pub fn atsq(&self, dataset: &Dataset, query: &Query, k: usize) -> Vec<QueryResult> {
         let mut results = Vec::new();
         for tr in self.candidates(query) {
+            // ordering: Relaxed — independent monotone tally.
             self.fetches.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = evaluate_atsq(dataset, query, tr) {
                 results.push(QueryResult::new(tr, d));
@@ -93,6 +96,7 @@ impl IlEngine {
     pub fn atsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
         let mut results = Vec::new();
         for tr in self.candidates(query) {
+            // ordering: Relaxed — independent monotone tally.
             self.fetches.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = evaluate_atsq(dataset, query, tr) {
                 if d <= tau {
@@ -107,6 +111,7 @@ impl IlEngine {
     pub fn oatsq_range(&self, dataset: &Dataset, query: &Query, tau: f64) -> Vec<QueryResult> {
         let mut results = Vec::new();
         for tr in self.candidates(query) {
+            // ordering: Relaxed — independent monotone tally.
             self.fetches.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = evaluate_oatsq(dataset, query, tr, tau) {
                 if d <= tau {
@@ -125,6 +130,7 @@ impl IlEngine {
             return Vec::new();
         }
         for tr in self.candidates(query) {
+            // ordering: Relaxed — independent monotone tally.
             self.fetches.fetch_add(1, Ordering::Relaxed);
             if let Some(d) = evaluate_oatsq(dataset, query, tr, top.kth()) {
                 top.offer(d, tr);

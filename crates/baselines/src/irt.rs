@@ -30,11 +30,13 @@ impl IrtEngine {
 
     /// Trajectory fetches (one per evaluated candidate) since reset.
     pub fn fetches(&self) -> u64 {
+        // ordering: Relaxed — advisory monotone fetch tally.
         self.fetches.load(Ordering::Relaxed)
     }
 
     /// Resets the fetch counter.
     pub fn reset_fetches(&self) {
+        // ordering: Relaxed — advisory stat reset; callers quiesce.
         self.fetches.store(0, Ordering::Relaxed);
     }
 

@@ -32,11 +32,13 @@ impl RtEngine {
 
     /// Trajectory fetches (one per evaluated candidate) since reset.
     pub fn fetches(&self) -> u64 {
+        // ordering: Relaxed — advisory monotone fetch tally.
         self.fetches.load(Ordering::Relaxed)
     }
 
     /// Resets the fetch counter.
     pub fn reset_fetches(&self) {
+        // ordering: Relaxed — advisory stat reset; callers quiesce.
         self.fetches.store(0, Ordering::Relaxed);
     }
 
@@ -127,6 +129,7 @@ impl RtEngine {
                 continue;
             }
             seen[tr.index()] = true;
+            // ordering: Relaxed — independent monotone tally.
             self.fetches.fetch_add(1, Ordering::Relaxed);
             let d = atsq_matching::best_match_distance(query, &dataset.trajectory(tr).points);
             if d.is_finite() {
@@ -219,6 +222,7 @@ where
             continue;
         }
         seen[tr.index()] = true;
+        // ordering: Relaxed — independent monotone tally.
         fetches.fetch_add(1, Ordering::Relaxed);
         let dist = if ordered {
             evaluate_oatsq(dataset, query, tr, tau)
@@ -289,6 +293,7 @@ where
             continue;
         }
         seen[tr.index()] = true;
+        // ordering: Relaxed — independent monotone tally.
         fetches.fetch_add(1, Ordering::Relaxed);
         let dist = if ordered {
             evaluate_oatsq(dataset, query, tr, top.kth())

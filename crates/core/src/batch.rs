@@ -80,9 +80,9 @@ pub fn run_batch_with_sinks<E: QueryEngine + Sync>(
             .collect();
     }
 
-    let slots: Vec<std::sync::Mutex<Option<Vec<QueryResult>>>> = queries
+    let slots: Vec<parking_lot::Mutex<Option<Vec<QueryResult>>>> = queries
         .iter()
-        .map(|_| std::sync::Mutex::new(None))
+        .map(|_| parking_lot::Mutex::new(None))
         .collect();
     let cursor = AtomicUsize::new(0);
 
@@ -91,12 +91,15 @@ pub fn run_batch_with_sinks<E: QueryEngine + Sync>(
     std::thread::scope(|scope| {
         for _ in 0..threads.min(queries.len()) {
             scope.spawn(|| loop {
+                // ordering: Relaxed — work-stealing cursor; atomicity
+                // alone hands each index to exactly one worker, and
+                // results travel through the slot mutexes, not this.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= queries.len() {
                     break;
                 }
                 let out = run_one(i, &queries[i]);
-                *slots[i].lock().expect("slot mutex") = Some(out);
+                *slots[i].lock() = Some(out);
             });
         }
     });
@@ -105,8 +108,7 @@ pub fn run_batch_with_sinks<E: QueryEngine + Sync>(
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("slot mutex")
-                .expect("every query slot filled")
+                .expect("invariant: scope joins all workers, so every query slot is filled")
         })
         .collect()
 }

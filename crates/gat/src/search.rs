@@ -47,12 +47,21 @@ impl SharedKthBound {
 
     /// The tightest distance published so far.
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — the bound's bits are the whole payload
+        // (no other memory is published alongside it), and any
+        // monotone, possibly-stale value is a *conservative* prune
+        // threshold: a late-arriving tighter bound only delays
+        // pruning, never causes a wrong result.
         f64::from_bits(self.0.load(AtomicOrdering::Relaxed))
     }
 
     /// Publishes a candidate bound; the stored value only decreases.
     pub fn tighten(&self, dist: f64) {
         debug_assert!(dist >= 0.0, "distances are non-negative");
+        // ordering: Relaxed — fetch_min's read-modify-write atomicity
+        // keeps the value monotone non-increasing on its own; readers
+        // need no happens-before edge because the value itself is the
+        // entire message (see `get`).
         self.0.fetch_min(dist.to_bits(), AtomicOrdering::Relaxed);
     }
 }

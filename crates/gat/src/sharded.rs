@@ -216,6 +216,8 @@ impl ShardedEngine {
     pub fn per_shard_busy_ns(&self) -> Vec<u64> {
         self.shards
             .iter()
+            // ordering: Relaxed — advisory busy-time tallies; readers
+            // tolerate slightly stale per-shard values.
             .map(|s| s.busy_ns.load(std::sync::atomic::Ordering::Relaxed))
             .collect()
     }
@@ -227,6 +229,8 @@ impl ShardedEngine {
         for s in &self.shards {
             s.index.stats().reset();
             s.index.apl().reset_pool_stats();
+            // ordering: Relaxed — advisory stat reset; callers quiesce
+            // or tolerate increments from in-flight queries.
             s.busy_ns.store(0, std::sync::atomic::Ordering::Relaxed);
         }
     }
@@ -313,6 +317,8 @@ impl ShardedEngine {
             let t0 = std::time::Instant::now();
             let out = run(shard, query);
             let ns = t0.elapsed().as_nanos() as u64;
+            // ordering: Relaxed — independent busy-time tally; no
+            // memory is published through it.
             shard
                 .busy_ns
                 .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
@@ -341,9 +347,9 @@ impl ShardedEngine {
                 per_shard[i] = Some(run(i, query));
             }
         } else {
-            let slots: Vec<std::sync::Mutex<Option<Result<Vec<QueryResult>>>>> = per_shard
+            let slots: Vec<parking_lot::Mutex<Option<Result<Vec<QueryResult>>>>> = per_shard
                 .iter()
-                .map(|_| std::sync::Mutex::new(None))
+                .map(|_| parking_lot::Mutex::new(None))
                 .collect();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
             // The coordinating thread's per-query counter context (if
@@ -359,21 +365,25 @@ impl ShardedEngine {
                     scope.spawn(move || {
                         let _ctx = sink.map(atsq_obs::CounterScope::enter);
                         loop {
+                            // ordering: Relaxed — work-stealing
+                            // cursor; atomicity hands each shard to
+                            // one worker, results travel through the
+                            // slot mutexes.
                             let next = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(&i) = order.get(next) else { break };
-                            *slots[i].lock().expect("shard slot") = Some(run(i, query));
+                            *slots[i].lock() = Some(run(i, query));
                         }
                     });
                 }
             });
             for (slot, out) in slots.into_iter().zip(per_shard.iter_mut()) {
-                *out = slot.into_inner().expect("shard slot");
+                *out = slot.into_inner();
             }
         }
 
         let mut all = Vec::new();
         for (shard, results) in self.shards.iter().zip(per_shard) {
-            for r in results.expect("every shard searched")? {
+            for r in results.expect("invariant: every shard index is visited by the order list")? {
                 all.push(QueryResult::new(
                     shard.to_global[r.trajectory.index()],
                     r.distance,

@@ -862,6 +862,8 @@ fn write_file(path: &Path, bytes: &[u8]) -> Result<()> {
     // one process) each write their own temp file, so neither can
     // rename the other's half-written bytes into the final name.
     static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    // ordering: Relaxed — unique-suffix ticket; fetch_add atomicity
+    // alone guarantees distinct temp names.
     let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp-{}-{seq}", std::process::id()));

@@ -12,7 +12,20 @@
 //! [`atsq_obs::CounterScope`], the same event is attributed to that
 //! one query's sink. Without an active scope the extra call is a
 //! thread-local flag test, so the lifetime counters stay cheap.
+//!
+//! # Reset semantics
+//!
+//! The raw atomics are **monotone** — they are never stored to after
+//! construction, only `fetch_add`ed. [`IoStats::reset`] instead
+//! captures the current totals as a *baseline* under a mutex, and
+//! [`IoStats::snapshot`] reports `raw - baseline` under the same
+//! mutex. A reset therefore can never half-apply: every snapshot is
+//! relative to exactly one coherent baseline, so cross-counter
+//! relationships survive concurrent resets (up to the bounded
+//! in-flight slack of queries mid-record). Hot-path recording stays
+//! wait-free; only reset and snapshot serialize, and both are cold.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cold-access counters for one GAT index.
@@ -24,6 +37,9 @@ pub struct IoStats {
     tas_false_positives: AtomicU64,
     candidates_retrieved: AtomicU64,
     distances_computed: AtomicU64,
+    /// Raw totals at the last [`reset`](IoStats::reset). Snapshots
+    /// subtract this, so reset never tears the monotone counters.
+    baseline: Mutex<IoSnapshot>,
 }
 
 impl IoStats {
@@ -34,42 +50,57 @@ impl IoStats {
 
     /// Records a HICL access below the memory-resident levels.
     pub fn record_hicl_cold_read(&self) {
+        // ordering: Relaxed — independent monotone event counter; no
+        // other memory is published via these counters.
         self.hicl_cold_reads.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_cold_read();
     }
 
     /// Records one APL posting-list fetch.
     pub fn record_apl_read(&self) {
+        // ordering: Relaxed — independent monotone event counter.
         self.apl_reads.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_apl_read();
     }
 
     /// Records one TAS containment check.
     pub fn record_tas_check(&self) {
+        // ordering: Relaxed — independent monotone event counter.
         self.tas_checks.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_tas_check();
     }
 
     /// Records a TAS check that passed but was refuted by the APL.
     pub fn record_tas_false_positive(&self) {
+        // ordering: Relaxed — independent monotone event counter.
         self.tas_false_positives.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_tas_false_positive();
     }
 
     /// Records one candidate trajectory entering the candidate set.
     pub fn record_candidate(&self) {
+        // ordering: Relaxed — independent monotone event counter.
         self.candidates_retrieved.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_candidate();
     }
 
     /// Records one full match-distance evaluation.
     pub fn record_distance(&self) {
+        // ordering: Relaxed — independent monotone event counter.
         self.distances_computed.fetch_add(1, Ordering::Relaxed);
         atsq_obs::record_distance_eval();
     }
 
-    /// Snapshot of all counters.
-    pub fn snapshot(&self) -> IoSnapshot {
+    /// Raw monotone totals, never rebased by resets.
+    fn raw_totals(&self) -> IoSnapshot {
+        // coherence: these six Relaxed loads are not a point-in-time
+        // cut — a concurrent query's increments may be partially
+        // visible. The counters are independent monotone tallies and
+        // every consumer works with per-counter values or clamped
+        // ratios, so a skewed cut is harmless; resets are made
+        // coherent by the baseline mutex in `snapshot`/`reset`, not
+        // here.
+        // ordering: Relaxed — see the coherence note above.
         IoSnapshot {
             hicl_cold_reads: self.hicl_cold_reads.load(Ordering::Relaxed),
             apl_reads: self.apl_reads.load(Ordering::Relaxed),
@@ -80,26 +111,27 @@ impl IoStats {
         }
     }
 
-    /// Resets every counter to zero.
+    /// Snapshot of all counters since the last [`reset`](IoStats::reset).
+    pub fn snapshot(&self) -> IoSnapshot {
+        // Hold the baseline lock across the raw reads so a concurrent
+        // reset cannot slide the baseline mid-snapshot: every snapshot
+        // pairs one baseline with raw totals read no earlier than it.
+        let baseline = self.baseline.lock();
+        self.raw_totals().saturating_sub(&baseline)
+    }
+
+    /// Resets every counter to zero, coherently.
     ///
-    /// Counters are reset one at a time with relaxed stores, so a
-    /// reset that races concurrent queries **tears**: a query in
-    /// flight may land some of its increments before the reset and the
-    /// rest after, leaving the aggregates approximate (e.g. a snapshot
-    /// can briefly show `distances_computed > candidates_retrieved`).
-    /// This is intentional — the hot-path counters stay wait-free, and
-    /// derived consumers clamp instead of trusting cross-counter
-    /// invariants (see `EngineCounters::prune_ratio` in `atsq-core`).
-    /// Reset while the index is quiesced for exact aggregates; for
-    /// exact *per-query* attribution under concurrency, use the scoped
-    /// contexts in [`atsq_obs::counters`] instead of snapshot diffs.
+    /// The raw counters are monotone and never stored to; reset
+    /// captures their current totals as the new baseline under the
+    /// same mutex that [`snapshot`](IoStats::snapshot) reads it, so a
+    /// reset racing concurrent queries applies atomically with respect
+    /// to snapshots — it can no longer tear (half the counters zeroed,
+    /// half not). Increments from queries still in flight simply land
+    /// in the new epoch.
     pub fn reset(&self) {
-        self.hicl_cold_reads.store(0, Ordering::Relaxed);
-        self.apl_reads.store(0, Ordering::Relaxed);
-        self.tas_checks.store(0, Ordering::Relaxed);
-        self.tas_false_positives.store(0, Ordering::Relaxed);
-        self.candidates_retrieved.store(0, Ordering::Relaxed);
-        self.distances_computed.store(0, Ordering::Relaxed);
+        let mut baseline = self.baseline.lock();
+        *baseline = self.raw_totals();
     }
 }
 
@@ -120,9 +152,30 @@ pub struct IoSnapshot {
     pub distances_computed: u64,
 }
 
+impl IoSnapshot {
+    /// Component-wise saturating difference (`self - earlier`).
+    fn saturating_sub(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            hicl_cold_reads: self.hicl_cold_reads.saturating_sub(earlier.hicl_cold_reads),
+            apl_reads: self.apl_reads.saturating_sub(earlier.apl_reads),
+            tas_checks: self.tas_checks.saturating_sub(earlier.tas_checks),
+            tas_false_positives: self
+                .tas_false_positives
+                .saturating_sub(earlier.tas_false_positives),
+            candidates_retrieved: self
+                .candidates_retrieved
+                .saturating_sub(earlier.candidates_retrieved),
+            distances_computed: self
+                .distances_computed
+                .saturating_sub(earlier.distances_computed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     #[test]
     fn counters_accumulate_and_reset() {
@@ -143,5 +196,66 @@ mod tests {
         assert_eq!(snap.distances_computed, 1);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn counting_resumes_after_reset() {
+        let s = IoStats::new();
+        s.record_apl_read();
+        s.reset();
+        s.record_apl_read();
+        s.record_apl_read();
+        assert_eq!(s.snapshot().apl_reads, 2);
+    }
+
+    /// Regression test for the reset tear: with per-counter zeroing
+    /// stores, a reset racing a writer could zero
+    /// `candidates_retrieved` while leaving `distances_computed` with
+    /// its full history, so a snapshot showed far more distances than
+    /// candidates. With the monotone-counter + baseline scheme, any
+    /// snapshot's skew is bounded by the writers' in-flight slack.
+    #[test]
+    fn concurrent_reset_cannot_tear_cross_counter_invariants() {
+        const WRITERS: usize = 4;
+        const ROUNDS: usize = 2_000;
+        let s = IoStats::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        for _ in 0..ROUNDS {
+                            // The engine records a candidate before it
+                            // evaluates that candidate's distance.
+                            s.record_candidate();
+                            s.record_distance();
+                        }
+                    })
+                })
+                .collect();
+            scope.spawn(|| {
+                // ordering: Relaxed — plain test stop flag; no data is
+                // published through it.
+                while !stop.load(Ordering::Relaxed) {
+                    s.reset();
+                    let snap = s.snapshot();
+                    // Each writer can be at most one increment ahead
+                    // (candidate landed, distance not yet). A torn
+                    // reset breaks this by unbounded amounts.
+                    assert!(
+                        snap.distances_computed <= snap.candidates_retrieved + WRITERS as u64,
+                        "snapshot tore: {} distances vs {} candidates",
+                        snap.distances_computed,
+                        snap.candidates_retrieved
+                    );
+                    std::hint::spin_loop();
+                }
+            });
+            for w in writers {
+                w.join().expect("writer thread");
+            }
+            // ordering: Relaxed — see the load above.
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

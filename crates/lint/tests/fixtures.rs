@@ -1,0 +1,146 @@
+//! Integration tests driving `atsq_lint::run` (and the binary) over
+//! the fixture trees in `tests/fixtures/` — one positive and one
+//! negative case per rule, plus the allowlist round trip.
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_of(report: &atsq_lint::Report) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let report = atsq_lint::run(&fixture("clean")).expect("scan");
+    assert!(!report.is_failure(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn lock_hold_fixture_flags_nested_and_io_but_not_sequential() {
+    let report = atsq_lint::run(&fixture("lock_hold")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(rules, ["lock-hold", "lock-hold"], "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("second lock"));
+    assert!(report.findings[1].message.contains("blocking call"));
+    // `fine_sequential` drops the first guard before taking the
+    // second — nothing there may be flagged.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.message.contains("fine_sequential")));
+}
+
+#[test]
+fn ordering_fixture_flags_missing_comment_and_seqcst() {
+    let report = atsq_lint::run(&fixture("ordering")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules,
+        ["atomics-ordering", "atomics-ordering"],
+        "{:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("lacks"));
+    assert!(report.findings[1].message.contains("SeqCst"));
+}
+
+#[test]
+fn panic_fixture_flags_unwrap_expect_panic_only() {
+    let report = atsq_lint::run(&fixture("panic_hot")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules,
+        ["panic-hot-path", "panic-hot-path", "panic-hot-path"],
+        "{:?}",
+        report.findings
+    );
+    // The invariant expect and the test-module unwrap pass.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.message.contains("invariant")));
+}
+
+#[test]
+fn coherence_fixture_flags_undocumented_multi_load() {
+    let report = atsq_lint::run(&fixture("coherence")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules,
+        ["atomic-snapshot-coherence"],
+        "{:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("2 distinct atomics"));
+}
+
+#[test]
+fn allowlist_waives_findings() {
+    let report = atsq_lint::run(&fixture("allowed")).expect("scan");
+    assert!(
+        !report.is_failure(),
+        "waived finding resurfaced: {:?} / stale {:?}",
+        report.findings,
+        report.stale_allows
+    );
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let report = atsq_lint::run(&fixture("stale_allow")).expect("scan");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.stale_allows.len(), 1);
+    assert_eq!(report.stale_allows[0].rule, "panic-hot-path");
+    assert!(report.is_failure());
+}
+
+#[test]
+fn binary_exit_codes_match_report_status() {
+    let bin = env!("CARGO_BIN_EXE_atsq-lint");
+    let ok = std::process::Command::new(bin)
+        .arg(fixture("clean"))
+        .output()
+        .expect("run atsq-lint");
+    assert!(ok.status.success(), "{ok:?}");
+    let bad = std::process::Command::new(bin)
+        .arg(fixture("ordering"))
+        .output()
+        .expect("run atsq-lint");
+    assert!(!bad.status.success());
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("atomics-ordering"), "{stdout}");
+    let stale = std::process::Command::new(bin)
+        .arg(fixture("stale_allow"))
+        .output()
+        .expect("run atsq-lint");
+    assert!(!stale.status.success());
+    let stdout = String::from_utf8_lossy(&stale.stdout);
+    assert!(stdout.contains("stale-allow"), "{stdout}");
+}
+
+/// The real workspace must scan clean with its committed allowlist —
+/// the same invariant CI enforces, checked here so plain `cargo test`
+/// catches regressions too.
+#[test]
+fn workspace_scans_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = atsq_lint::run(&root).expect("scan workspace");
+    let msgs: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| f.to_string())
+        .chain(
+            report
+                .stale_allows
+                .iter()
+                .map(|e| format!("stale lint.allow:{}", e.line)),
+        )
+        .collect();
+    assert!(!report.is_failure(), "{}", msgs.join("\n"));
+}

@@ -1,0 +1,6 @@
+//! Fixture for allowlist waivers: the unwrap below is a hot-path
+//! violation, waived by this fixture root's `lint.allow`.
+
+pub fn waived_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

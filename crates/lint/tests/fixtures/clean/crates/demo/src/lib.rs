@@ -1,0 +1,24 @@
+//! Negative fixture: nothing here should trip any rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counters {
+    hits: AtomicU64,
+}
+
+impl Counters {
+    pub fn record(&self) {
+        // ordering: Relaxed — independent monotone tally.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hits(&self) -> u64 {
+        // ordering: Relaxed — single advisory load.
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+pub fn single_guard(m: &std::sync::Mutex<Vec<u32>>) -> usize {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    g.len()
+}

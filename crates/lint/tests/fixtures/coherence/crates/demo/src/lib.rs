@@ -1,0 +1,20 @@
+//! Positive fixture for `atomic-snapshot-coherence`: a function that
+//! loads two distinct atomics with no `coherence:` comment. The
+//! ordering comments keep rule 2 quiet so the only finding is rule 4.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl S {
+    pub fn torn_pair(&self) -> (u64, u64) {
+        // ordering: Relaxed — advisory tallies.
+        (
+            self.a.load(Ordering::Relaxed),
+            self.b.load(Ordering::Relaxed),
+        )
+    }
+}

@@ -1,0 +1,31 @@
+//! Positive fixture for `lock-hold`: nested acquisition and blocking
+//! I/O under a held guard, plus a negative case (drop before the
+//! second lock).
+
+pub struct Pair {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn nested(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn io_under_lock(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::write("/tmp/fixture", b"x").ok();
+        *ga
+    }
+
+    pub fn fine_sequential(&self) -> u32 {
+        let x = {
+            let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+            *ga
+        };
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        x + *gb
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture for `atomics-ordering`: one unannotated site, one SeqCst
+//! site (denied even with a comment), and annotated sites that must
+//! pass.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S {
+    x: AtomicU64,
+    y: AtomicU64,
+}
+
+impl S {
+    pub fn bad_unannotated(&self) {
+        self.x.store(1, Ordering::Relaxed);
+    }
+
+    pub fn bad_seqcst(&self) {
+        // ordering: a comment does not excuse SeqCst.
+        self.y.store(1, Ordering::SeqCst);
+    }
+
+    pub fn good_same_line(&self) {
+        self.x.store(2, Ordering::Relaxed); // ordering: Relaxed — advisory flag.
+    }
+
+    pub fn good_cluster(&self) -> (u64, u64) {
+        // coherence: both values are independent tallies; a torn pair
+        // is acceptable for this fixture.
+        // ordering: Relaxed — advisory tallies, one comment for both.
+        (
+            self.x.load(Ordering::Relaxed),
+            self.y.load(Ordering::Relaxed),
+        )
+    }
+}

@@ -1,0 +1,29 @@
+//! Positive fixture for `panic-hot-path`: this file's relative path
+//! matches the hot-path list, so bare unwrap/expect/panic! are denied
+//! while invariant-expects and test modules pass.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("value present")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn good_invariant(v: Option<u32>) -> u32 {
+    v.expect("invariant: caller fills the slot before reading it")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

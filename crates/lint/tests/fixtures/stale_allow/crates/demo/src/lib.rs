@@ -1,0 +1,6 @@
+//! Clean fixture paired with a stale `lint.allow` entry: the waiver
+//! matches nothing, which must itself fail the run.
+
+pub fn nothing_to_see() -> u32 {
+    7
+}

@@ -22,10 +22,11 @@
 //! is a thread-local flag test — cheap enough to leave enabled on
 //! every engine path.
 
+use parking_lot::Mutex;
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One query's work-counter delta. Field names follow
 /// `EngineCounters` in `atsq-core`, with the raw TAS check count kept
@@ -106,14 +107,19 @@ impl CounterSink {
         if delta.is_zero() {
             return;
         }
+        // ordering: Relaxed — independent monotone tallies; the sink
+        // is read after the query's worker threads are joined, and
+        // the join itself provides the happens-before edge.
         self.candidates
             .fetch_add(delta.candidates, Ordering::Relaxed);
         self.distance_evals
             .fetch_add(delta.distance_evals, Ordering::Relaxed);
+        // ordering: Relaxed — as above.
         self.tas_checks
             .fetch_add(delta.tas_checks, Ordering::Relaxed);
         self.tas_false_positives
             .fetch_add(delta.tas_false_positives, Ordering::Relaxed);
+        // ordering: Relaxed — as above.
         self.apl_reads.fetch_add(delta.apl_reads, Ordering::Relaxed);
         self.cold_reads
             .fetch_add(delta.cold_reads, Ordering::Relaxed);
@@ -121,7 +127,7 @@ impl CounterSink {
 
     /// Adds busy time for one engine shard.
     pub fn add_shard_busy(&self, shard: usize, ns: u64) {
-        let mut busy = self.shard_busy_ns.lock().expect("shard busy lock");
+        let mut busy = self.shard_busy_ns.lock();
         if busy.len() <= shard {
             busy.resize(shard + 1, 0);
         }
@@ -130,6 +136,11 @@ impl CounterSink {
 
     /// The accumulated counter delta.
     pub fn counters(&self) -> QueryCounters {
+        // coherence: not a point-in-time cut across the six counters —
+        // callers read the sink after joining (or dropping the scopes
+        // of) the threads that flush into it, so by then the values
+        // are quiescent; mid-flight reads are advisory progress only.
+        // ordering: Relaxed — see the coherence note above.
         QueryCounters {
             candidates: self.candidates.load(Ordering::Relaxed),
             distance_evals: self.distance_evals.load(Ordering::Relaxed),
@@ -143,7 +154,7 @@ impl CounterSink {
     /// The accumulated per-shard busy time (empty for unsharded
     /// engines).
     pub fn shard_busy_ns(&self) -> Vec<u64> {
-        self.shard_busy_ns.lock().expect("shard busy lock").clone()
+        self.shard_busy_ns.lock().clone()
     }
 }
 

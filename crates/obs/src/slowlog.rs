@@ -9,8 +9,8 @@
 //! bounded no matter the traffic.
 
 use crate::span::TraceReport;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// One recorded slow request.
@@ -54,7 +54,7 @@ impl SlowLog {
         if self.capacity == 0 || (!force && report.total_ns < self.threshold_ns) {
             return false;
         }
-        let mut ring = self.inner.lock().expect("slowlog lock");
+        let mut ring = self.inner.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -67,17 +67,12 @@ impl SlowLog {
 
     /// Entries oldest-first.
     pub fn entries(&self) -> Vec<SlowEntry> {
-        self.inner
-            .lock()
-            .expect("slowlog lock")
-            .iter()
-            .cloned()
-            .collect()
+        self.inner.lock().iter().cloned().collect()
     }
 
     /// Number of recorded entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("slowlog lock").len()
+        self.inner.lock().len()
     }
 
     /// Whether the log holds no entries.

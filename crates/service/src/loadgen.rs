@@ -13,12 +13,12 @@ use crate::Request;
 use atsq_core::{GatEngine, QueryEngine};
 use atsq_datagen::{generate_queries, QueryGenConfig, Zipf};
 use atsq_types::{Dataset, Query, QueryResult};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Workload parameters for [`run_loadgen`].
@@ -202,7 +202,7 @@ pub fn run_loadgen(
                     match client_loop(addr, cfg, tid as u64, pool, expected, zipf, issued) {
                         Ok(tally) => tally,
                         Err(e) => {
-                            *failures.lock().expect("failure lock") = Some(e);
+                            *failures.lock() = Some(e);
                             ThreadTally {
                                 report: LoadgenReport::default(),
                                 latencies_ms: Vec::new(),
@@ -218,7 +218,7 @@ pub fn run_loadgen(
             .map(|h| h.join().expect("client thread"))
             .collect()
     });
-    if let Some(e) = failures.lock().expect("failure lock").take() {
+    if let Some(e) = failures.lock().take() {
         return Err(e);
     }
     let wall = t0.elapsed();
@@ -284,6 +284,9 @@ fn client_loop(
         records: Vec::new(),
     };
     loop {
+        // ordering: Relaxed — work-stealing ticket counter; atomicity
+        // gives each client a distinct sequence number and nothing
+        // else is published through it.
         let seq = issued.fetch_add(1, Ordering::Relaxed);
         if seq >= cfg.requests {
             break;

@@ -5,8 +5,8 @@
 //! (`try_push` fails fast when full) while consumers block until work
 //! arrives or the queue is closed.
 
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -32,19 +32,21 @@ pub struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` items (min 1).
     pub fn new(capacity: usize) -> Self {
-        BoundedQueue {
+        let queue = BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
-        }
+        };
+        queue.inner.set_name("service.queue");
+        queue
     }
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -59,7 +61,7 @@ impl<T> BoundedQueue<T> {
 
     /// Non-blocking push; fails fast when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -77,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// closed **and** empty — the consumer's signal to exit.
     pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
         let max = max.max(1);
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock();
         loop {
             if !inner.items.is_empty() {
                 let n = inner.items.len().min(max);
@@ -91,14 +93,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("queue lock");
+            self.available.wait(&mut inner);
         }
     }
 
     /// Closes the queue: future pushes fail, consumers drain what is
     /// left and then see `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.inner.lock().closed = true;
         self.available.notify_all();
     }
 }

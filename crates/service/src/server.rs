@@ -34,7 +34,11 @@ impl Server {
             .name("atsq-accept".into())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
+                    // ordering: Relaxed — the stop flag carries no
+                    // dependent data; the throwaway connection in
+                    // `shutdown` guarantees the loop wakes to observe
+                    // it, and `join` synchronizes the final state.
+                    if accept_stop.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
@@ -68,7 +72,10 @@ impl Server {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: Relaxed — pure stop flag; nothing is published
+        // through it, and the connect below forces the accept loop
+        // around to the load.
+        self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a throwaway connection. A
         // wildcard bind address (0.0.0.0 / ::) is not connectable on
         // every platform, so aim at loopback in that case.

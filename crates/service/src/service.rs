@@ -9,10 +9,11 @@ use atsq_core::{
 };
 use atsq_obs::{CounterScope, CounterSink, SlowEntry, SlowLog, Stage, StageClock, TraceReport};
 use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -189,7 +190,7 @@ impl Service {
             loaded_from_snapshot: outcome.as_ref().map(CacheOutcome::loaded),
         };
         let service = Self::start(Arc::new(dataset), Arc::new(engine), config);
-        *service.shared.startup.lock().expect("startup info") = startup;
+        *service.shared.startup.lock() = startup;
         Ok((service, outcome))
     }
 
@@ -209,6 +210,8 @@ impl Service {
             startup: Mutex::new(StartupInfo::default()),
             config: config.clone(),
         });
+        shared.cache.set_name("service.result_cache");
+        shared.startup.set_name("service.startup_info");
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = shared.clone();
@@ -309,6 +312,8 @@ impl ServiceHandle {
         // stage covers key canonicalisation too; `fetch_add + 1` makes
         // ids start at 1 (0 reads as "no id" on the wire).
         let mut clock = self.shared.config.tracing.then(StageClock::start);
+        // ordering: Relaxed — unique-id ticket; fetch_add's atomicity
+        // alone guarantees distinct ids, no memory is published.
         let id = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
@@ -376,7 +381,7 @@ impl ServiceHandle {
             &self.stats(),
             &self.shared.engine.per_shard_busy_ns(),
             self.shared.slowlog.len(),
-            *self.shared.startup.lock().expect("startup info"),
+            *self.shared.startup.lock(),
         )
     }
 
@@ -414,7 +419,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     let mut runnable: Vec<Job> = Vec::with_capacity(jobs.len());
     {
         let now = Instant::now();
-        let mut cache = shared.cache.lock().expect("cache lock");
+        let mut cache = shared.cache.lock();
         for mut job in jobs {
             if let Some(c) = &mut job.clock {
                 c.mark(Stage::Queue);
@@ -577,7 +582,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         replies.push(outcome);
     }
     if !inserts.is_empty() {
-        let mut cache = shared.cache.lock().expect("cache lock");
+        let mut cache = shared.cache.lock();
         for (key, results) in inserts {
             cache.insert(key, results);
         }

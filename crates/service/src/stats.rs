@@ -45,7 +45,7 @@ pub struct ServiceStats {
     /// mutex so concurrent snapshot takers cannot pair one caller's
     /// time window with another's completion window. Snapshots are a
     /// cold path; the hot-path counters stay lock-free.
-    window: std::sync::Mutex<QpsWindow>,
+    window: parking_lot::Mutex<QpsWindow>,
 }
 
 /// See [`ServiceStats::snapshot`]: the window only advances once it is
@@ -66,7 +66,7 @@ const MIN_QPS_WINDOW_US: u64 = 10_000;
 
 impl Default for ServiceStats {
     fn default() -> Self {
-        ServiceStats {
+        let stats = ServiceStats {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -83,50 +83,62 @@ impl Default for ServiceStats {
             stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             serialize_ns: AtomicU64::new(0),
             serialize_count: AtomicU64::new(0),
-            window: std::sync::Mutex::new(QpsWindow::default()),
-        }
+            window: parking_lot::Mutex::new(QpsWindow::default()),
+        };
+        stats.window.set_name("service.stats.qps_window");
+        stats
     }
 }
 
 impl ServiceStats {
     /// One request admitted to the queue.
     pub fn record_submitted(&self) {
+        // ordering: Relaxed — independent monotone tally; snapshots
+        // tolerate a skewed cut (they clamp derived values).
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request refused at admission (queue full).
     pub fn record_rejected(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request whose deadline passed before execution.
     pub fn record_expired(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request answered from the result cache.
     pub fn record_cache_hit(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request that missed the cache and ran on the engine.
     pub fn record_cache_miss(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request served by coalescing onto an identical in-batch
     /// request (no engine work, no LRU involvement).
     pub fn record_coalesced(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One request whose execution panicked (reported, not fatal).
     pub fn record_failed(&self) {
+        // ordering: Relaxed — independent monotone tally.
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One batch of `n` requests drained by a worker.
     pub fn record_batch(&self, n: usize) {
+        // ordering: Relaxed — independent monotone tallies; the
+        // batches/batched_requests pair is only used for a mean.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(n as u64, Ordering::Relaxed);
     }
@@ -139,11 +151,15 @@ impl ServiceStats {
     /// otherwise wrap) clamp into the last — nothing panics, nothing
     /// vanishes from the histogram.
     pub fn record_completed(&self, latency: Duration) {
+        // ordering: Relaxed — monotone tallies; the completion count,
+        // histogram bucket and latency sum are each meaningful alone,
+        // and snapshot percentiles tolerate a skewed cut.
         self.completed.fetch_add(1, Ordering::Relaxed);
         let us = u64::try_from(latency.as_micros())
             .unwrap_or(u64::MAX)
             .max(1);
         let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        // ordering: Relaxed — as above.
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
     }
@@ -153,6 +169,8 @@ impl ServiceStats {
     pub fn record_stages(&self, stage_ns: &[u64; STAGES]) {
         for (total, &ns) in self.stage_ns.iter().zip(stage_ns) {
             if ns > 0 {
+                // ordering: Relaxed — independent monotone tally per
+                // stage; no memory is published through it.
                 total.fetch_add(ns, Ordering::Relaxed);
             }
         }
@@ -160,6 +178,8 @@ impl ServiceStats {
 
     /// Records time spent serialising one response on the wire path.
     pub fn record_serialize(&self, ns: u64) {
+        // ordering: Relaxed — monotone tallies read only for a mean;
+        // a skewed ns/count cut shifts the mean negligibly.
         self.serialize_ns.fetch_add(ns, Ordering::Relaxed);
         self.serialize_count.fetch_add(1, Ordering::Relaxed);
     }
@@ -170,6 +190,10 @@ impl ServiceStats {
     /// it is recorded even when the configured threshold is higher.
     pub fn p99_floor_us(&self) -> u64 {
         let mut total = 0u64;
+        // coherence: the bucket loads are not a point-in-time cut; a
+        // completion landing mid-read shifts the floor by at most one
+        // bucket, which the advisory tail-sampling policy tolerates.
+        // ordering: Relaxed — see the coherence note above.
         let hist: [u64; BUCKETS] =
             std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
         for count in hist {
@@ -209,6 +233,11 @@ impl ServiceStats {
         engine: EngineCounters,
         shard_candidates: Vec<u64>,
     ) -> StatsSnapshot {
+        // coherence: the snapshot's loads are not a point-in-time cut
+        // across counters (documented above) — each value is exact on
+        // its own and the derived figures clamp; only the QPS window
+        // state below needs real coherence, and the mutex provides it.
+        // ordering: Relaxed throughout — see the coherence note.
         let hist: Vec<u64> = self
             .latency_us
             .iter()
@@ -220,7 +249,10 @@ impl ServiceStats {
         // the exact mispairing the shared-window mutex exists to
         // prevent.
         let (completed, uptime, qps) = {
-            let mut w = self.window.lock().expect("stats window");
+            let mut w = self.window.lock();
+            // ordering: Relaxed — the window mutex orders takers
+            // against each other; the count itself is a monotone
+            // tally whose exact cut point is immaterial.
             let completed = self.completed.load(Ordering::Relaxed);
             let uptime = self.started.elapsed();
             let now_us = uptime.as_micros() as u64;
@@ -239,6 +271,8 @@ impl ServiceStats {
             };
             (completed, uptime, qps)
         };
+        // ordering: Relaxed — monotone tallies; the inflight figure
+        // below saturates because these are not a consistent cut.
         let submitted = self.submitted.load(Ordering::Relaxed);
         let expired = self.expired.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
@@ -250,6 +284,8 @@ impl ServiceStats {
             .saturating_sub(completed)
             .saturating_sub(expired)
             .saturating_sub(failed);
+        // ordering: Relaxed for every load below — monotone tallies,
+        // advisory monitoring cut (see the coherence note above).
         StatsSnapshot {
             uptime,
             submitted,

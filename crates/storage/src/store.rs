@@ -283,6 +283,9 @@ impl FaultPlan {
     fn armed(&self) -> bool {
         self.arm_switch
             .as_ref()
+            // ordering: Relaxed — advisory on/off switch for fault
+            // injection; no data is published through it and tests
+            // flip it only between store operations.
             .is_none_or(|s| s.load(std::sync::atomic::Ordering::Relaxed))
     }
 }
@@ -524,8 +527,11 @@ mod tests {
             },
         );
         s.read(id, &mut p).unwrap(); // disarmed: healthy
+                                     // ordering: Relaxed — single-threaded test flips the switch
+                                     // between operations; no concurrency at all.
         switch.store(true, Ordering::Relaxed);
         assert!(s.read(id, &mut p).is_err()); // armed: faults
+                                              // ordering: Relaxed — see above.
         switch.store(false, Ordering::Relaxed);
         s.read(id, &mut p).unwrap(); // disarmed again
     }

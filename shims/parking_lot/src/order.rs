@@ -1,0 +1,234 @@
+//! Opt-in dynamic lock-order (cycle) checking.
+//!
+//! Every [`crate::Mutex`] / [`crate::RwLock`] gets a stable numeric id
+//! on first acquisition and may carry a human-readable name
+//! ([`crate::Mutex::set_name`]). While checking is enabled, each
+//! thread tracks the stack of lock ids it currently holds, and every
+//! acquisition records `held → acquired` edges into one global
+//! acquisition graph. An acquisition that would close a cycle in that
+//! graph — the classic AB/BA inversion, in any number of hops —
+//! panics *before blocking*, naming both sides: the lock chain this
+//! thread holds, and the chain the conflicting edge was first recorded
+//! under. A would-be deadlock becomes a deterministic, debuggable
+//! panic the first time the two orders are ever observed, even when
+//! the timing never actually deadlocks.
+//!
+//! Enablement: `ATSQ_LOCK_ORDER=1` forces checking on, `=0` forces it
+//! off, and unset defaults to `debug_assertions` (on in `cargo test`,
+//! off in release benches). Disabled, an acquisition costs one atomic
+//! load and a branch.
+//!
+//! The checker's own state lives behind `std::sync` primitives (never
+//! the wrappers in this crate), so it cannot recurse into itself.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+/// Whether lock-order checking is active for this process.
+pub fn checking_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("ATSQ_LOCK_ORDER") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") => true,
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") => {
+            false
+        }
+        _ => cfg!(debug_assertions),
+    })
+}
+
+/// Per-lock bookkeeping embedded in each wrapper: a lazily assigned
+/// stable id (0 = unassigned). Names live in the global registry so
+/// the wrapper stays `const`-constructible.
+#[derive(Debug, Default)]
+pub(crate) struct LockMeta {
+    id: AtomicUsize,
+}
+
+impl LockMeta {
+    pub(crate) const fn new() -> LockMeta {
+        LockMeta {
+            id: AtomicUsize::new(0),
+        }
+    }
+
+    /// The lock's stable id, assigned on first use.
+    pub(crate) fn id(&self) -> usize {
+        // ordering: relaxed — the id value itself is the entire
+        // payload; the CAS only needs atomicity, not ordering with any
+        // other memory, and a racing loser simply re-reads the winner.
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        // ordering: relaxed — a pure unique-id counter.
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            // ordering: relaxed — see above; only the winning value
+            // matters, and both arms re-read it.
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+struct Registry {
+    /// Human-readable lock names, keyed by lock id.
+    names: HashMap<usize, String>,
+    /// The acquisition graph: `edges[a]` contains `b` when some thread
+    /// acquired `b` while holding `a`.
+    edges: HashMap<usize, HashSet<usize>>,
+    /// For each recorded edge, the lock-name chain the acquiring
+    /// thread held when the edge was first seen (its "stack"), for the
+    /// cycle panic message.
+    contexts: HashMap<(usize, usize), EdgeContext>,
+}
+
+struct EdgeContext {
+    thread: String,
+    held_chain: Vec<String>,
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        StdMutex::new(Registry {
+            names: HashMap::new(),
+            edges: HashMap::new(),
+            contexts: HashMap::new(),
+        })
+    })
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+    // The registry is only ever poisoned by a cycle panic unwinding
+    // through it; its data stays consistent, so enter anyway.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    fn name_of(&self, id: usize) -> String {
+        self.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("lock#{id}"))
+    }
+
+    /// Is `to` reachable from `from` through recorded edges?
+    fn reachable(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// Registers a human-readable name for a lock id.
+pub(crate) fn set_name(id: usize, name: &str) {
+    lock_registry().names.insert(id, name.to_owned());
+}
+
+thread_local! {
+    /// Ids of the locks this thread currently holds, oldest first.
+    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records an acquisition of `id`, panicking if it closes a cycle in
+/// the global acquisition graph. Called *before* blocking on the
+/// underlying lock, so an actual deadlock is reported instead of hung.
+pub(crate) fn on_acquire(id: usize) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        for &prior in held.iter() {
+            if prior == id {
+                // Re-acquiring a lock this thread already holds (e.g.
+                // a second read lock) is a self-deadlock hazard of its
+                // own but not an ordering inversion; skip the edge.
+                continue;
+            }
+            let mut reg = lock_registry();
+            let known = reg.edges.get(&prior).is_some_and(|next| next.contains(&id));
+            if known {
+                continue;
+            }
+            if reg.reachable(id, prior) {
+                let this_chain: Vec<String> = held.iter().map(|&h| reg.name_of(h)).collect();
+                // Prefer the direct reverse edge's context; fall back
+                // to any edge out of `id` for longer cycles.
+                let conflicting = reg
+                    .contexts
+                    .get_key_value(&(id, prior))
+                    .or_else(|| reg.contexts.iter().find(|((from, _), _)| *from == id))
+                    .map(|((from, to), ctx)| {
+                        format!(
+                            "conflicting order `{}` -> `{}` first recorded on thread `{}` \
+                             holding [{}]",
+                            reg.name_of(*from),
+                            reg.name_of(*to),
+                            ctx.thread,
+                            ctx.held_chain.join(" -> "),
+                        )
+                    })
+                    .unwrap_or_else(|| "conflicting order recorded earlier".to_owned());
+                panic!(
+                    "lock-order inversion: thread `{}` holding [{}] tried to acquire `{}`, \
+                     but `{}` already precedes `{}` in the acquisition graph; {}",
+                    thread_name(),
+                    this_chain.join(" -> "),
+                    reg.name_of(id),
+                    reg.name_of(id),
+                    reg.name_of(prior),
+                    conflicting,
+                );
+            }
+            let chain: Vec<String> = held.iter().map(|&h| reg.name_of(h)).collect();
+            reg.edges.entry(prior).or_default().insert(id);
+            reg.contexts.entry((prior, id)).or_insert(EdgeContext {
+                thread: thread_name(),
+                held_chain: chain,
+            });
+        }
+        held.push(id);
+    });
+}
+
+/// Records the release of `id` (guard drop, or a `Condvar` wait
+/// unlocking its mutex). Removes the most recent occurrence, so
+/// out-of-order guard drops stay balanced.
+pub(crate) fn on_release(id: usize) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&h| h == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Number of tracked locks the current thread holds (test hook).
+pub fn held_locks() -> usize {
+    if !checking_enabled() {
+        return 0;
+    }
+    HELD.with(|held| held.borrow().len())
+}
+
+fn thread_name() -> String {
+    std::thread::current()
+        .name()
+        .map_or_else(|| "<unnamed>".to_owned(), str::to_owned)
+}
