@@ -1,0 +1,217 @@
+//! Tenant churn: multi-city serving under a memory budget that only
+//! fits a fraction of the fleet.
+//!
+//! A self-driving harness (`harness = false`, no criterion): writes N
+//! tiny city snapshots to disk, opens them through
+//! `atsq_tenant::registry_from_dir` with a budget sized for k < N
+//! resident tenants, then round-robins resolve+query across all
+//! cities. Every resolve of an evicted city pays a cold load (snapshot
+//! read + index build) and usually evicts the least-recently-queried
+//! tenant; resident cities answer warm. The harness separates the two
+//! populations and reports p50/p99 for each plus the eviction totals,
+//! and emits `BENCH_tenant_churn.json` (path overridable via
+//! `BENCH_OUT`).
+//!
+//! Environment knobs: `TENANT_CHURN_CITIES` (default 6),
+//! `TENANT_CHURN_RESIDENT` (budget in city-sizes, default 2),
+//! `TENANT_CHURN_QUERIES` (default 120), `TENANT_CHURN_SCALE`
+//! (dataset scale for `ny_like`, 0 = the tiny city, default 0).
+
+use atsq_bench::{workload, Setting};
+use atsq_core::QueryEngine;
+use atsq_datagen::{generate, CityConfig};
+use atsq_service::percentile_sorted;
+use atsq_tenant::{CityId, DiskRegistryOptions, CITY_DATASET_FILE};
+use atsq_types::Query;
+use std::io::BufWriter;
+use std::time::Instant;
+
+fn main() {
+    let n_cities: usize = env_or("TENANT_CHURN_CITIES", 6);
+    let resident: u64 = env_or("TENANT_CHURN_RESIDENT", 2);
+    let n_queries: usize = env_or("TENANT_CHURN_QUERIES", 120);
+    let scale: f64 = env_or("TENANT_CHURN_SCALE", 0.0);
+    assert!(n_cities >= 2, "need at least two cities to churn");
+    assert!(
+        (resident as usize) < n_cities,
+        "budget must fit fewer cities than the fleet for churn"
+    );
+
+    let setting = Setting::default();
+    let dir = std::env::temp_dir().join(format!("atsq-tenant-churn-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // One snapshot per city, plus a per-city query workload drawn from
+    // that city's own activity vocabulary.
+    let mut queries: Vec<Vec<Query>> = Vec::new();
+    for i in 0..n_cities {
+        let config = if scale > 0.0 {
+            CityConfig::ny_like(scale)
+        } else {
+            CityConfig::tiny(0xC17 + i as u64)
+        };
+        let dataset = generate(&config).expect("dataset");
+        queries.push(workload(&dataset, &setting, 8, 0xC17 + i as u64));
+        let city_dir = dir.join(format!("city{i}"));
+        std::fs::create_dir_all(&city_dir).expect("city dir");
+        let file = std::fs::File::create(city_dir.join(CITY_DATASET_FILE)).expect("snapshot");
+        atsq_io::write_dataset(&dataset, BufWriter::new(file)).expect("write snapshot");
+    }
+
+    // Measure one city's resident footprint with an unbudgeted
+    // registry, then budget the real one for `resident` of those.
+    let probe =
+        atsq_tenant::registry_from_dir(&dir, &DiskRegistryOptions::default()).expect("probe");
+    drop(
+        probe
+            .resolve(&CityId::new("city0").unwrap())
+            .expect("probe load"),
+    );
+    let city_bytes = probe.cities()[0].resident_bytes;
+    drop(probe);
+    let budget = city_bytes * resident + city_bytes / 2;
+
+    let registry = atsq_tenant::registry_from_dir(
+        &dir,
+        &DiskRegistryOptions {
+            memory_budget: Some(budget),
+            ..DiskRegistryOptions::default()
+        },
+    )
+    .expect("registry");
+
+    println!(
+        "tenant_churn: {n_cities} cities, budget {budget} B (~{resident} resident), \
+         {n_queries} round-robin queries, k={}",
+        setting.k
+    );
+
+    // Visit cities round-robin but in bursts: cycling N cities through
+    // a k-city budget makes the first query of each visit a cold load
+    // (the LRU worst case), while the rest of the burst answers warm —
+    // giving both populations in one run.
+    const BURST: usize = 3;
+    let mut cold_ms: Vec<f64> = Vec::new();
+    let mut warm_ms: Vec<f64> = Vec::new();
+    for i in 0..n_queries {
+        let visit = i / BURST;
+        let city_ix = visit % n_cities;
+        let city = CityId::new(format!("city{city_ix}")).unwrap();
+        let query = &queries[city_ix][i % queries[city_ix].len()];
+        let t0 = Instant::now();
+        let lease = registry.resolve(&city).expect("resolve");
+        let results = lease.engine().atsq(lease.dataset(), query, setting.k);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(results.len() <= setting.k, "engine returned more than k");
+        if lease.cold() {
+            cold_ms.push(dt);
+        } else {
+            warm_ms.push(dt);
+        }
+    }
+    cold_ms.sort_by(|a, b| a.total_cmp(b));
+    warm_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let infos = registry.cities();
+    let evictions: u64 = infos.iter().map(|i| i.evictions).sum();
+    let loads: u64 = infos.iter().map(|i| i.loads).sum();
+    let ready = infos
+        .iter()
+        .filter(|i| i.state == atsq_tenant::TenantState::Ready)
+        .count();
+
+    println!(
+        "{:>8}{:>8}{:>12}{:>12}{:>8}{:>10}",
+        "kind", "n", "p50 ms", "p99 ms", "loads", "evictions"
+    );
+    println!(
+        "{:>8}{:>8}{:>12.3}{:>12.3}{:>8}{:>10}",
+        "cold",
+        cold_ms.len(),
+        percentile_sorted(&cold_ms, 0.50),
+        percentile_sorted(&cold_ms, 0.99),
+        loads,
+        evictions
+    );
+    println!(
+        "{:>8}{:>8}{:>12.3}{:>12.3}{:>8}{:>10}",
+        "warm",
+        warm_ms.len(),
+        percentile_sorted(&warm_ms, 0.50),
+        percentile_sorted(&warm_ms, 0.99),
+        "-",
+        "-"
+    );
+
+    // Sanity: churn actually happened, the budget held, and a cold
+    // resolve (snapshot read + index build) costs more than a warm one.
+    assert!(
+        evictions >= 1,
+        "no eviction with {n_cities} cities and a {resident}-city budget"
+    );
+    assert!(
+        ready <= resident as usize + 1,
+        "{ready} cities resident under a {resident}-city budget"
+    );
+    assert!(
+        !cold_ms.is_empty() && !warm_ms.is_empty(),
+        "need both cold and warm samples"
+    );
+    if percentile_sorted(&cold_ms, 0.50) >= 1.0 {
+        assert!(
+            percentile_sorted(&cold_ms, 0.50) > percentile_sorted(&warm_ms, 0.50),
+            "cold resolves should be slower than warm ones"
+        );
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_tenant_churn.json".into());
+    let json = to_json(
+        n_cities, resident, budget, n_queries, setting.k, &cold_ms, &warm_ms, loads, evictions,
+    );
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    cities: usize,
+    resident: u64,
+    budget: u64,
+    queries: usize,
+    k: usize,
+    cold_ms: &[f64],
+    warm_ms: &[f64],
+    loads: u64,
+    evictions: u64,
+) -> String {
+    format!(
+        concat!(
+            r#"{{"bench":"tenant_churn","cities":{},"resident_budget_cities":{},"#,
+            r#""budget_bytes":{},"queries":{},"k":{},"#,
+            r#""cold":{{"n":{},"p50_ms":{:.3},"p99_ms":{:.3}}},"#,
+            r#""warm":{{"n":{},"p50_ms":{:.3},"p99_ms":{:.3}}},"#,
+            r#""loads":{},"evictions":{}}}"#
+        ),
+        cities,
+        resident,
+        budget,
+        queries,
+        k,
+        cold_ms.len(),
+        percentile_sorted(cold_ms, 0.50),
+        percentile_sorted(cold_ms, 0.99),
+        warm_ms.len(),
+        percentile_sorted(warm_ms, 0.50),
+        percentile_sorted(warm_ms, 0.99),
+        loads,
+        evictions
+    )
+}

@@ -397,13 +397,38 @@ pub fn bench(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `atsq serve` — share one dataset + GAT index across a worker pool
-/// behind a newline-delimited-JSON TCP endpoint.
+/// Parses a human-friendly byte count: a plain number is bytes, and a
+/// `kb` / `mb` / `gb` suffix (case-insensitive) scales it.
+fn parse_bytes(spec: &str) -> Result<u64, CliError> {
+    let lower = spec.trim().to_ascii_lowercase();
+    let (digits, scale) = if let Some(d) = lower.strip_suffix("kb") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix("mb") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = lower.strip_suffix("gb") {
+        (d, 1u64 << 30)
+    } else {
+        (lower.as_str(), 1u64)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad byte count `{spec}` (try 512kb, 64mb, 1gb)")))?;
+    Ok(n.saturating_mul(scale))
+}
+
+/// `atsq serve` — share one dataset + GAT index (or, with `--cities`,
+/// a whole registry of lazily-loaded city datasets) across a worker
+/// pool behind a newline-delimited-JSON TCP endpoint.
 pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let f = parse(
         argv,
         &[
             "data",
+            "cities",
+            "tenant-memory-budget",
+            "default-city",
+            "city-cap",
             "addr",
             "workers",
             "queue",
@@ -420,7 +445,6 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["no-tracing"],
     )?;
-    let dataset = load_dataset(f.require("data")?)?;
     let defaults = ServiceConfig::default();
     let (shards, partition) = parse_sharding(&f)?;
     let config = ServiceConfig {
@@ -441,26 +465,72 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         slowlog_threshold: Duration::from_millis(
             f.num("slowlog-ms", defaults.slowlog_threshold.as_millis() as u64)?,
         ),
+        city_inflight_cap: f.num("city-cap", defaults.city_inflight_cap)?,
     };
     let duration_s: u64 = f.num("duration-s", 0)?;
-    let n = dataset.len();
     let workers = config.workers;
-    let t0 = Instant::now();
-    let (service, outcome) = Service::build_with_outcome(dataset, config)?;
-    let startup_ms = t0.elapsed().as_secs_f64() * 1e3;
-    if let Some(outcome) = &outcome {
-        writeln!(out, "{} in {startup_ms:.0} ms", describe_outcome(outcome))?;
-    }
-    let server = Server::bind(service.handle(), f.get("addr").unwrap_or("127.0.0.1:7878"))
-        .map_err(CliError::Io)?;
     let sharding = if shards > 1 {
         format!(", {shards} {partition} shards")
     } else {
         String::new()
     };
+
+    let service = match (f.get("cities"), f.get("data")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--cities and --data are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage("serve needs --data or --cities".into()));
+        }
+        // Multi-city: every subdirectory of DIR with a `city.atsq`
+        // becomes a lazily-loaded tenant; nothing builds until a
+        // city's first query (or an explicit `city_load`).
+        (Some(dir), None) => {
+            let opts = atsq_tenant::DiskRegistryOptions {
+                shards,
+                partition,
+                memory_budget: f.get("tenant-memory-budget").map(parse_bytes).transpose()?,
+                default_city: f.get("default-city").map(str::to_owned),
+            };
+            let registry = atsq_tenant::registry_from_dir(std::path::Path::new(dir), &opts)
+                .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+            let names: Vec<String> = registry
+                .cities()
+                .iter()
+                .map(|c| c.city.as_str().to_owned())
+                .collect();
+            let budget = opts
+                .memory_budget
+                .map_or("unbounded".to_owned(), |b| format!("{b} bytes"));
+            writeln!(
+                out,
+                "hosting {} cities from {dir} [{}] (default {}, budget {budget})",
+                names.len(),
+                names.join(", "),
+                registry.default_city()
+            )?;
+            Service::start_registry(std::sync::Arc::new(registry), config)
+        }
+        (None, Some(path)) => {
+            let dataset = load_dataset(path)?;
+            let n = dataset.len();
+            let t0 = Instant::now();
+            let (service, outcome) = Service::build_with_outcome(dataset, config)?;
+            let startup_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(outcome) = &outcome {
+                writeln!(out, "{} in {startup_ms:.0} ms", describe_outcome(outcome))?;
+            }
+            writeln!(out, "loaded {n} trajectories from {path}")?;
+            service
+        }
+    };
+    let server = Server::bind(service.handle(), f.get("addr").unwrap_or("127.0.0.1:7878"))
+        .map_err(CliError::Io)?;
     writeln!(
         out,
-        "serving {n} trajectories on {} ({workers} workers{sharding}); NDJSON, one request per line",
+        "serving on {} ({workers} workers{sharding}); NDJSON, one request per line",
         server.local_addr()
     )?;
     if duration_s == 0 {
@@ -478,12 +548,16 @@ pub fn serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `atsq loadgen` — closed-loop load generation against a running
-/// `atsq serve`, with optional response verification.
+/// `atsq serve`, with optional response verification. With `--cities
+/// DIR` (plus repeatable `--city NAME` to select a subset) requests
+/// round-robin across the named cities of a multi-city server.
 pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let f = parse(
         argv,
         &[
             "data",
+            "cities",
+            "city",
             "addr",
             "concurrency",
             "requests",
@@ -498,7 +572,6 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ],
         &["verify"],
     )?;
-    let dataset = load_dataset(f.require("data")?)?;
     let addr = f.require("addr")?;
     let defaults = LoadgenConfig::default();
     let cfg = LoadgenConfig {
@@ -517,7 +590,67 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         seed: f.num("seed", defaults.seed)?,
         latency_out: f.get("latency-out").map(std::path::PathBuf::from),
     };
-    let report = atsq_service::run_loadgen(addr, &dataset, &cfg).map_err(CliError::Io)?;
+    let workloads = match (f.get("cities"), f.get("data")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--cities and --data are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage("loadgen needs --data or --cities".into()));
+        }
+        (None, Some(path)) => {
+            if !f.get_all("city").is_empty() {
+                return Err(CliError::Usage("--city requires --cities DIR".into()));
+            }
+            vec![atsq_service::CityWorkload {
+                city: None,
+                dataset: load_dataset(path)?,
+            }]
+        }
+        // Multi-city: the datasets come from the same layout `serve
+        // --cities` reads (DIR/<name>/city.atsq); --city narrows the
+        // target set, defaulting to every city in the directory.
+        (Some(dir), None) => {
+            let dir = std::path::Path::new(dir);
+            let mut names: Vec<String> = f.get_all("city").to_vec();
+            if names.is_empty() {
+                let mut found = Vec::new();
+                for entry in std::fs::read_dir(dir)? {
+                    let path = entry?.path();
+                    if path.join(atsq_tenant::CITY_DATASET_FILE).is_file() {
+                        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                            found.push(name.to_owned());
+                        }
+                    }
+                }
+                found.sort();
+                names = found;
+            }
+            if names.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "no cities found under {}",
+                    dir.display()
+                )));
+            }
+            names
+                .into_iter()
+                .map(|name| {
+                    let path = dir.join(&name).join(atsq_tenant::CITY_DATASET_FILE);
+                    let dataset = load_dataset(path.to_str().unwrap_or_default())?;
+                    Ok(atsq_service::CityWorkload {
+                        city: Some(name),
+                        dataset,
+                    })
+                })
+                .collect::<Result<Vec<_>, CliError>>()?
+        }
+    };
+    if workloads.len() > 1 {
+        let names: Vec<&str> = workloads.iter().filter_map(|w| w.city.as_deref()).collect();
+        writeln!(out, "round-robin across cities: {}", names.join(", "))?;
+    }
+    let report = atsq_service::run_loadgen_cities(addr, &workloads, &cfg).map_err(CliError::Io)?;
     writeln!(out, "{report}")?;
     if cfg.verify && report.incorrect > 0 {
         return Err(CliError::Io(std::io::Error::other(format!(
@@ -531,15 +664,21 @@ pub fn loadgen(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// One-shot request/response against a running `atsq serve`: sends a
 /// single op line, returns the parsed reply.
 fn wire_call(addr: &str, op: &str) -> Result<atsq_service::json::Value, CliError> {
+    wire_call_line(addr, &format!("{{\"op\":\"{op}\"}}"))
+}
+
+/// Like [`wire_call`] but sends a caller-built request line, for ops
+/// that carry members beyond `op` (e.g. `city_load`).
+fn wire_call_line(addr: &str, line: &str) -> Result<atsq_service::json::Value, CliError> {
     use std::io::BufRead;
     let mut stream = std::net::TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    stream.write_all(format!("{{\"op\":\"{op}\"}}\n").as_bytes())?;
+    stream.write_all(format!("{line}\n").as_bytes())?;
     let mut reply = String::new();
     reader.read_line(&mut reply)?;
     let value = atsq_service::json::parse(reply.trim())
-        .map_err(|e| CliError::Io(std::io::Error::other(format!("bad {op} reply: {e}"))))?;
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("bad reply: {e}"))))?;
     if let Some(err) = value
         .get("error")
         .and_then(atsq_service::json::Value::as_str)
@@ -547,6 +686,80 @@ fn wire_call(addr: &str, op: &str) -> Result<atsq_service::json::Value, CliError
         return Err(CliError::Io(std::io::Error::other(err.to_owned())));
     }
     Ok(value)
+}
+
+/// `atsq cities` — list a multi-city server's tenants, or load/unload
+/// one by name.
+pub fn cities(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use atsq_service::json::Value;
+    let f = parse(argv, &["addr", "load", "unload"], &[])?;
+    let addr = f.require("addr")?;
+    if f.get("load").is_some() && f.get("unload").is_some() {
+        return Err(CliError::Usage(
+            "--load and --unload are mutually exclusive".into(),
+        ));
+    }
+    if let Some((op, name)) = f
+        .get("load")
+        .map(|n| ("city_load", n))
+        .or_else(|| f.get("unload").map(|n| ("city_unload", n)))
+    {
+        let line = atsq_service::json::Value::Obj(vec![
+            ("op".into(), Value::Str(op.into())),
+            ("city".into(), Value::Str(name.into())),
+        ])
+        .to_json();
+        let reply = wire_call_line(addr, &line)?;
+        let status = reply.get("status").and_then(Value::as_str).unwrap_or("ok");
+        if op == "city_load" {
+            let cold = reply
+                .get("cold")
+                .and_then(Value::as_bool)
+                .map_or(String::new(), |c| {
+                    format!(" ({})", if c { "cold load" } else { "already resident" })
+                });
+            writeln!(out, "{name}: {status}{cold}")?;
+        } else {
+            writeln!(out, "{name}: {status}")?;
+        }
+        return Ok(());
+    }
+    let reply = wire_call(addr, "cities")?;
+    let entries = reply
+        .get("cities")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CliError::Io(std::io::Error::other("reply lacks `cities`")))?;
+    writeln!(
+        out,
+        "{:<16} {:<9} {:>12} {:>8} {:>9} {:>6} {:>6} {:>9}",
+        "CITY", "STATE", "RESIDENT", "INFLIGHT", "QUERIES", "LOADS", "EVICT", "LOAD-MS"
+    )?;
+    for e in entries {
+        let num = |k: &str| e.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let city = e.get("city").and_then(Value::as_str).unwrap_or("?");
+        let state = e.get("state").and_then(Value::as_str).unwrap_or("?");
+        let snapshot = e
+            .get("loaded_from_snapshot")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        writeln!(
+            out,
+            "{:<16} {:<9} {:>12} {:>8} {:>9} {:>6} {:>6} {:>9.1}{}{}",
+            city,
+            state,
+            num("resident_bytes") as u64,
+            num("inflight") as u64,
+            num("queries") as u64,
+            num("loads") as u64,
+            num("evictions") as u64,
+            num("load_ms_total"),
+            if snapshot { "  [snapshot]" } else { "" },
+            e.get("last_error")
+                .and_then(Value::as_str)
+                .map_or(String::new(), |err| format!("  last_error: {err}")),
+        )?;
+    }
+    Ok(())
 }
 
 /// `atsq metrics` — fetch a server's Prometheus metrics page.
@@ -1162,6 +1375,169 @@ u2,34.10,-118.30,20,hiking with a view
         // help works
         run(&sv(&["help"]), &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+
+    /// The multi-city surface end to end at the CLI: a registry served
+    /// from a `--cities`-style directory, `loadgen --cities` verifying
+    /// round-robin across tenants, and the `cities` subcommand
+    /// listing, unloading and reloading a city.
+    #[test]
+    fn multi_city_serve_loadgen_and_admin_roundtrip() {
+        let dir = std::env::temp_dir().join("atsq_cli_test_cities");
+        std::fs::remove_dir_all(&dir).ok();
+        for (name, seed) in [("kyoto", "21"), ("osaka", "22")] {
+            let city_dir = dir.join(name);
+            std::fs::create_dir_all(&city_dir).unwrap();
+            let snap = city_dir.join(atsq_tenant::CITY_DATASET_FILE);
+            run_ok(&[
+                "generate",
+                "--city",
+                "tiny",
+                "--seed",
+                seed,
+                "--out",
+                snap.to_str().unwrap(),
+            ]);
+        }
+
+        let registry =
+            atsq_tenant::registry_from_dir(&dir, &atsq_tenant::DiskRegistryOptions::default())
+                .unwrap();
+        let service = Service::start_registry(
+            std::sync::Arc::new(registry),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let report = run_ok(&[
+            "loadgen",
+            "--cities",
+            dir.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--concurrency",
+            "4",
+            "--requests",
+            "40",
+            "--pool",
+            "8",
+            "--k",
+            "5",
+            "--verify",
+        ]);
+        assert!(
+            report.contains("round-robin across cities: kyoto, osaka"),
+            "{report}"
+        );
+        assert!(report.contains("incorrect 0"), "{report}");
+
+        let listing = run_ok(&["cities", "--addr", &addr]);
+        assert!(listing.contains("kyoto"), "{listing}");
+        assert!(listing.contains("osaka"), "{listing}");
+        assert!(listing.contains("ready"), "{listing}");
+
+        // The last reply's lease drops just after loadgen returns, so
+        // an immediate unload can race a still-draining request.
+        let unload = (0..100)
+            .find_map(|_| {
+                let mut out = Vec::new();
+                match run(
+                    &sv(&["cities", "--addr", &addr, "--unload", "osaka"]),
+                    &mut out,
+                ) {
+                    Ok(()) => Some(String::from_utf8(out).unwrap()),
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        None
+                    }
+                }
+            })
+            .expect("unload should succeed once in-flight requests drain");
+        assert!(unload.contains("osaka: ok"), "{unload}");
+        let listing = run_ok(&["cities", "--addr", &addr]);
+        assert!(listing.contains("evicted"), "{listing}");
+        let load = run_ok(&["cities", "--addr", &addr, "--load", "osaka"]);
+        assert!(load.contains("osaka: ok (cold load)"), "{load}");
+
+        // Usage errors: exclusive flag pairs and orphaned --city.
+        let mut out = Vec::new();
+        assert!(run(
+            &sv(&["cities", "--addr", &addr, "--load", "a", "--unload", "b"]),
+            &mut out
+        )
+        .is_err());
+        assert!(run(
+            &sv(&["loadgen", "--addr", &addr, "--city", "kyoto"]),
+            &mut out
+        )
+        .is_err());
+        assert!(run(
+            &sv(&[
+                "serve",
+                "--data",
+                "x",
+                "--cities",
+                "y",
+                "--addr",
+                "127.0.0.1:0"
+            ]),
+            &mut out
+        )
+        .is_err());
+
+        server.stop();
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve --cities` itself boots a registry, announces its
+    /// tenants, and answers for the bounded duration.
+    #[test]
+    fn serve_cities_runs_for_a_bounded_duration() {
+        let dir = std::env::temp_dir().join("atsq_cli_test_serve_cities");
+        std::fs::remove_dir_all(&dir).ok();
+        let city_dir = dir.join("nara");
+        std::fs::create_dir_all(&city_dir).unwrap();
+        run_ok(&[
+            "generate",
+            "--city",
+            "tiny",
+            "--out",
+            city_dir
+                .join(atsq_tenant::CITY_DATASET_FILE)
+                .to_str()
+                .unwrap(),
+        ]);
+        let msg = run_ok(&[
+            "serve",
+            "--cities",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--duration-s",
+            "1",
+            "--tenant-memory-budget",
+            "64mb",
+        ]);
+        assert!(msg.contains("hosting 1 cities"), "{msg}");
+        assert!(msg.contains("nara"), "{msg}");
+        assert!(msg.contains("serving"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("1024").unwrap(), 1024);
+        assert_eq!(parse_bytes("2kb").unwrap(), 2 * 1024);
+        assert_eq!(parse_bytes("3MB").unwrap(), 3 * 1024 * 1024);
+        assert_eq!(parse_bytes("1gb").unwrap(), 1024 * 1024 * 1024);
+        assert!(parse_bytes("lots").is_err());
     }
 
     #[test]

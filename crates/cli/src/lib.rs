@@ -64,17 +64,22 @@ USAGE:
                 [--partition hash|spatial]
   atsq index    inspect --cache DIR
   atsq bench    --data FILE [--queries N] [--k N]
-  atsq serve    --data FILE [--addr HOST:PORT] [--workers N]
-                [--queue N] [--batch N] [--batch-threads N] [--cache N]
-                [--deadline-ms MS] [--duration-s S] [--shards S]
+  atsq serve    (--data FILE | --cities DIR) [--addr HOST:PORT]
+                [--workers N] [--queue N] [--batch N]
+                [--batch-threads N] [--cache N] [--deadline-ms MS]
+                [--duration-s S] [--shards S]
                 [--partition hash|spatial] [--index-cache DIR]
                 [--slowlog-ms MS] [--slowlog-capacity N] [--no-tracing]
-  atsq loadgen  --data FILE --addr HOST:PORT [--concurrency N]
+                [--tenant-memory-budget BYTES[kb|mb|gb]]
+                [--default-city NAME] [--city-cap N]
+  atsq loadgen  (--data FILE | --cities DIR [--city NAME ...])
+                --addr HOST:PORT [--concurrency N]
                 [--requests N] [--k N] [--pool N] [--zipf S]
                 [--query-points N] [--acts-per-point N] [--seed N]
                 [--deadline-ms MS] [--verify] [--latency-out FILE]
   atsq metrics  --addr HOST:PORT
   atsq slowlog  --addr HOST:PORT
+  atsq cities   --addr HOST:PORT [--load NAME | --unload NAME]
 
 Datasets are `atsq v1` text snapshots (see atsq-io). Activities in
 --stop are names from the dataset vocabulary. With --tips the CSV's
@@ -99,7 +104,17 @@ reuse; --verify checks every response against a local engine and
 --latency-out writes one JSON record (request id, status, latency) per
 request. `metrics` prints the server's Prometheus exposition;
 `slowlog` prints its slow-query log (per-request stage breakdown and
-engine counters; see --slowlog-ms / --slowlog-capacity on serve).";
+engine counters; see --slowlog-ms / --slowlog-capacity on serve).
+
+`serve --cities DIR` hosts every sub-directory of DIR holding a
+`city.atsq` snapshot as a named city, loaded lazily on first query and
+evicted least-recently-queried when resident bytes exceed
+--tenant-memory-budget (in-flight cities are never evicted). Query
+requests may add `\"city\":\"NAME\"` to route to a city (absent =
+default city); admin ops `cities`, `city_load` and `city_unload`
+manage tenants — `atsq cities` is their CLI front end, and `loadgen
+--cities DIR` round-robins requests across cities, verifying each
+against that city's own dataset.";
 
 /// Entry point shared by `main` and tests.
 pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -118,6 +133,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "loadgen" => commands::loadgen(rest, out),
         "metrics" => commands::metrics(rest, out),
         "slowlog" => commands::slowlog(rest, out),
+        "cities" => commands::cities(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())

@@ -285,6 +285,19 @@ impl Engine {
         }
     }
 
+    /// Estimated resident bytes of the engine itself (the serving
+    /// dataset is accounted separately): every index component for
+    /// GAT, and per-shard dataset copies plus indexes for the sharded
+    /// engine. The baselines are not served multi-tenant and report
+    /// zero. Feeds the tenancy layer's memory-budget accountant.
+    pub fn approx_resident_bytes(&self) -> usize {
+        match self {
+            Engine::Gat(e) => e.index().memory_report().total_bytes(),
+            Engine::Sharded(e) => e.approx_resident_bytes(),
+            Engine::Il(_) | Engine::Rt(_) | Engine::Irt(_) => 0,
+        }
+    }
+
     /// Builds every engine for a dataset, in the paper's order
     /// (IL, RT, IRT, GAT).
     pub fn build_all(dataset: &Dataset) -> Result<Vec<Engine>> {

@@ -302,6 +302,18 @@ impl MemoryReport {
     pub fn main_memory_bytes(&self) -> usize {
         self.hicl_hot_bytes + self.itl_bytes + self.tas_bytes
     }
+
+    /// Every component, including the ones the paper pages to disk
+    /// (cold HICL levels, APL). This implementation keeps all of them
+    /// resident, so this is what the multi-tenant memory budget charges
+    /// per index.
+    pub fn total_bytes(&self) -> usize {
+        self.hicl_hot_bytes
+            + self.hicl_cold_bytes
+            + self.itl_bytes
+            + self.tas_bytes
+            + self.apl_disk_bytes
+    }
 }
 
 /// Expands degenerate dataset bounds into a usable grid region: empty

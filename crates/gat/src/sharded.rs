@@ -180,6 +180,16 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// Estimated resident bytes of the engine: each shard's dataset
+    /// subset copy plus all of its index components. Feeds the
+    /// multi-tenant memory-budget accountant.
+    pub fn approx_resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.dataset.approx_bytes() + s.index.memory_report().total_bytes())
+            .sum()
+    }
+
     /// Trajectories per shard, in shard order.
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.dataset.len()).collect()

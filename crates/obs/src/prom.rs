@@ -87,6 +87,21 @@ impl PromText {
         self.sample(name, &[], value);
     }
 
+    /// A gauge family with one label dimension (e.g. per-city resident
+    /// bytes).
+    pub fn gauge_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        samples: impl IntoIterator<Item = (String, f64)>,
+    ) {
+        self.header(name, help, "gauge");
+        for (value, sample) in samples {
+            self.sample(name, &[(label, value)], sample);
+        }
+    }
+
     /// A cumulative histogram from per-bucket (non-cumulative) counts.
     /// `upper_bounds[i]` is bucket `i`'s inclusive upper bound; a final
     /// `+Inf` bucket, `_sum` and `_count` samples are emitted per the
@@ -175,6 +190,21 @@ mod tests {
         let text = p.finish();
         assert!(text.contains("atsq_shard_candidates_total{shard=\"0\"} 5\n"));
         assert!(text.contains("atsq_shard_candidates_total{shard=\"1\"} 7\n"));
+    }
+
+    #[test]
+    fn gauge_families_carry_labels() {
+        let mut p = PromText::new();
+        p.gauge_family(
+            "atsq_city_resident_bytes",
+            "Resident bytes per city.",
+            "city",
+            [("tokyo".to_owned(), 1024.0), ("osaka".to_owned(), 0.0)],
+        );
+        let text = p.finish();
+        assert!(text.contains("# TYPE atsq_city_resident_bytes gauge\n"));
+        assert!(text.contains("atsq_city_resident_bytes{city=\"tokyo\"} 1024\n"));
+        assert!(text.contains("atsq_city_resident_bytes{city=\"osaka\"} 0\n"));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{InsertOutcome, LruCache};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, run_loadgen_cities, CityWorkload, LoadgenConfig, LoadgenReport};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{CacheKey, Request, Response};
 pub use server::Server;

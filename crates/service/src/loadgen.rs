@@ -6,9 +6,15 @@
 //! popular queries repeat, which is what exercises the result cache.
 //! With `verify` on, every response is checked against direct
 //! [`GatEngine`](atsq_core::GatEngine) answers computed locally.
+//!
+//! Multi-city servers are driven with [`run_loadgen_cities`]: each
+//! workload names a city and carries that city's dataset (its own
+//! query pool and reference engine), and clients spread requests
+//! across the cities round-robin — the access pattern that exercises
+//! lazy loads and budget eviction server-side.
 
 use crate::stats::percentile_sorted;
-use crate::wire::{decode_server_reply_full, encode_request, ServerReply};
+use crate::wire::{decode_server_reply_full, encode_request_for_city, ServerReply};
 use crate::Request;
 use atsq_core::{GatEngine, QueryEngine};
 use atsq_datagen::{generate_queries, QueryGenConfig, Zipf};
@@ -154,6 +160,24 @@ fn record_line(
     obj(members).to_json()
 }
 
+/// One city's slice of a multi-city workload: which city to address
+/// on the wire (`None` = the server's default) and the dataset backing
+/// it, from which the query pool and reference answers derive.
+#[derive(Debug, Clone)]
+pub struct CityWorkload {
+    /// `city` member sent on each request; `None` omits it.
+    pub city: Option<String>,
+    /// The dataset the named city serves.
+    pub dataset: Dataset,
+}
+
+/// A city workload with its pool and reference answers materialised.
+struct PreparedWorkload {
+    city: Option<String>,
+    pool: Vec<Query>,
+    expected: Option<Vec<Vec<QueryResult>>>,
+}
+
 /// Runs the closed-loop workload against `addr`. The dataset must be
 /// the one the server is serving — it seeds the query pool and, with
 /// `verify`, the local reference engine.
@@ -162,29 +186,56 @@ pub fn run_loadgen(
     dataset: &Dataset,
     cfg: &LoadgenConfig,
 ) -> std::io::Result<LoadgenReport> {
+    run_loadgen_cities(
+        addr,
+        &[CityWorkload {
+            city: None,
+            dataset: dataset.clone(),
+        }],
+        cfg,
+    )
+}
+
+/// Runs the closed-loop workload across several cities of one server.
+/// Request `i` goes to city `i % workloads.len()` (round-robin), with
+/// Zipf-skewed query reuse inside each city's own pool; with `verify`,
+/// each city's responses are checked against a reference engine built
+/// over *that city's* dataset.
+pub fn run_loadgen_cities(
+    addr: &str,
+    workloads: &[CityWorkload],
+    cfg: &LoadgenConfig,
+) -> std::io::Result<LoadgenReport> {
     assert!(cfg.concurrency >= 1 && cfg.requests >= 1 && cfg.pool >= 1);
-    let pool: Vec<Query> = generate_queries(
-        dataset,
-        &QueryGenConfig {
-            query_points: cfg.query_points,
-            acts_per_point: cfg.acts_per_point,
-            diameter_km: None,
-            common_acts_only: false,
-            seed: cfg.seed,
-        },
-        cfg.pool,
-    );
-    // Reference answers for verification, computed once per pool entry.
-    let expected: Option<Vec<Vec<QueryResult>>> = if cfg.verify {
-        let engine = GatEngine::build(dataset).expect("reference engine build");
-        Some(
-            pool.iter()
-                .map(|q| engine.atsq(dataset, q, cfg.k))
-                .collect(),
-        )
-    } else {
-        None
-    };
+    assert!(!workloads.is_empty(), "at least one city workload");
+    let prepared: Vec<PreparedWorkload> = workloads
+        .iter()
+        .map(|w| {
+            let pool: Vec<Query> = generate_queries(
+                &w.dataset,
+                &QueryGenConfig {
+                    query_points: cfg.query_points,
+                    acts_per_point: cfg.acts_per_point,
+                    diameter_km: None,
+                    common_acts_only: false,
+                    seed: cfg.seed,
+                },
+                cfg.pool,
+            );
+            // Reference answers, computed once per pool entry.
+            let expected: Option<Vec<Vec<QueryResult>>> = cfg.verify.then(|| {
+                let engine = GatEngine::build(&w.dataset).expect("reference engine build");
+                pool.iter()
+                    .map(|q| engine.atsq(&w.dataset, q, cfg.k))
+                    .collect()
+            });
+            PreparedWorkload {
+                city: w.city.clone(),
+                pool,
+                expected,
+            }
+        })
+        .collect();
     let zipf = Zipf::new(cfg.pool, cfg.zipf_s);
 
     let issued = AtomicUsize::new(0);
@@ -193,13 +244,12 @@ pub fn run_loadgen(
     let tallies: Vec<ThreadTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.concurrency)
             .map(|tid| {
-                let pool = &pool;
-                let expected = &expected;
+                let prepared = &prepared;
                 let zipf = &zipf;
                 let issued = &issued;
                 let failures = &failures;
                 scope.spawn(move || {
-                    match client_loop(addr, cfg, tid as u64, pool, expected, zipf, issued) {
+                    match client_loop(addr, cfg, tid as u64, prepared, zipf, issued) {
                         Ok(tally) => tally,
                         Err(e) => {
                             *failures.lock() = Some(e);
@@ -263,13 +313,11 @@ pub fn run_loadgen(
     Ok(report)
 }
 
-#[allow(clippy::too_many_arguments)] // internal helper of run_loadgen
 fn client_loop(
     addr: &str,
     cfg: &LoadgenConfig,
     tid: u64,
-    pool: &[Query],
-    expected: &Option<Vec<Vec<QueryResult>>>,
+    workloads: &[PreparedWorkload],
     zipf: &Zipf,
     issued: &AtomicUsize,
 ) -> std::io::Result<ThreadTally> {
@@ -291,12 +339,19 @@ fn client_loop(
         if seq >= cfg.requests {
             break;
         }
+        // Round-robin across cities; Zipf-skewed reuse within a city.
+        let workload = &workloads[seq % workloads.len()];
         let qi = zipf.sample(&mut rng);
         let request = Request::Atsq {
-            query: pool[qi].clone(),
+            query: workload.pool[qi].clone(),
             k: cfg.k,
         };
-        let line = encode_request(&request, cfg.deadline_ms.map(Duration::from_millis)).to_json();
+        let line = encode_request_for_city(
+            &request,
+            cfg.deadline_ms.map(Duration::from_millis),
+            workload.city.as_deref(),
+        )
+        .to_json();
         let sent_at = Instant::now();
         stream.write_all(line.as_bytes())?;
         stream.write_all(b"\n")?;
@@ -324,7 +379,7 @@ fn client_loop(
                     tally.report.cached += 1;
                 }
                 tally.latencies_ms.push(latency_ms);
-                if let Some(expected) = expected {
+                if let Some(expected) = &workload.expected {
                     if !results_match(&results, &expected[qi]) {
                         tally.report.incorrect += 1;
                     }
@@ -476,6 +531,80 @@ mod tests {
                     .unwrap()
                     >= 0.0
             );
+        }
+
+        server.stop();
+        service.shutdown();
+    }
+
+    /// Round-robin across two cities of one server, every response
+    /// verified against each city's own reference engine.
+    #[test]
+    fn multi_city_round_robin_verifies_per_city() {
+        use atsq_core::{Engine, Partition};
+        use atsq_tenant::{CityId, CityRegistry, LoadedCity};
+        use std::sync::Arc;
+
+        let datasets: Vec<_> = (0..2u64)
+            .map(|i| generate(&CityConfig::tiny(60 + i)).unwrap())
+            .collect();
+        let registry = Arc::new(CityRegistry::new(CityId::new("a").unwrap(), None));
+        for (name, dataset) in ["a", "b"].iter().zip(&datasets) {
+            let dataset = dataset.clone();
+            registry
+                .add_city(
+                    CityId::new(*name).unwrap(),
+                    Arc::new(move || {
+                        let (engine, _) = Engine::build_gat(&dataset, 1, Partition::Hash, None)
+                            .map_err(|e| e.to_string())?;
+                        Ok(LoadedCity {
+                            dataset: Arc::new(dataset.clone()),
+                            engine: Arc::new(engine),
+                            loaded_from_snapshot: false,
+                        })
+                    }),
+                )
+                .unwrap();
+        }
+        let service = Service::start_registry(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let server = Server::bind(service.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let workloads: Vec<CityWorkload> = ["a", "b"]
+            .iter()
+            .zip(&datasets)
+            .map(|(name, dataset)| CityWorkload {
+                city: Some((*name).to_owned()),
+                dataset: dataset.clone(),
+            })
+            .collect();
+        let report = run_loadgen_cities(
+            &addr,
+            &workloads,
+            &LoadgenConfig {
+                concurrency: 4,
+                requests: 80,
+                pool: 10,
+                k: 5,
+                verify: true,
+                ..LoadgenConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sent, 80);
+        assert_eq!(report.ok, 80, "{report}");
+        assert_eq!(report.incorrect, 0, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        // Round-robin split the traffic evenly across both cities.
+        let infos = service.handle().cities();
+        for info in &infos {
+            assert_eq!(info.queries, 40, "{info:?}");
         }
 
         server.stop();

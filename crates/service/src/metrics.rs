@@ -21,10 +21,14 @@
 //! * `atsq_slowlog_entries` — slow-query log depth.
 //! * `atsq_index_startup_seconds`, `atsq_index_loaded_from_snapshot`
 //!   — cold-start provenance.
+//! * `atsq_city_*{city=…}` — per-city tenancy state: lifecycle code,
+//!   resident bytes, in-flight requests, query/load/eviction counters,
+//!   cumulative load time, and engine candidate counts.
 
 use crate::service::StartupInfo;
 use crate::stats::StatsSnapshot;
 use atsq_obs::{PromText, Stage};
+use atsq_tenant::CityInfo;
 
 /// Renders the full metrics surface in Prometheus text format.
 pub fn render(
@@ -32,6 +36,7 @@ pub fn render(
     shard_busy_ns: &[u64],
     slowlog_len: usize,
     startup: StartupInfo,
+    cities: &[CityInfo],
 ) -> String {
     let mut p = PromText::new();
 
@@ -225,6 +230,58 @@ pub fn render(
         );
     }
 
+    if !cities.is_empty() {
+        let name = |c: &CityInfo| c.city.as_str().to_owned();
+        p.gauge_family(
+            "atsq_city_state",
+            "City lifecycle state (0 unloaded, 1 loading, 2 ready, 3 evicted).",
+            "city",
+            cities.iter().map(|c| (name(c), c.state.code() as f64)),
+        );
+        p.gauge_family(
+            "atsq_city_resident_bytes",
+            "Estimated resident memory per city (dataset plus index).",
+            "city",
+            cities.iter().map(|c| (name(c), c.resident_bytes as f64)),
+        );
+        p.gauge_family(
+            "atsq_city_inflight",
+            "Leases currently held against each city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.inflight as f64)),
+        );
+        p.counter_family(
+            "atsq_city_queries_total",
+            "Queries resolved against each city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.queries)),
+        );
+        p.counter_family(
+            "atsq_city_loads_total",
+            "Successful engine loads (cold starts) per city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.loads)),
+        );
+        p.counter_family(
+            "atsq_city_evictions_total",
+            "Budget-pressure evictions per city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.evictions)),
+        );
+        p.counter_family_f64(
+            "atsq_city_load_seconds_total",
+            "Cumulative engine build/load time per city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.load_ms_total / 1e3)),
+        );
+        p.counter_family(
+            "atsq_city_candidates_total",
+            "Candidate trajectories considered per city.",
+            "city",
+            cities.iter().map(|c| (name(c), c.counters.candidates)),
+        );
+    }
+
     p.finish()
 }
 
@@ -260,6 +317,7 @@ mod tests {
                 engine_build: Some(Duration::from_millis(250)),
                 loaded_from_snapshot: Some(true),
             },
+            &[],
         );
         assert!(text.contains("atsq_requests_submitted_total 2\n"), "{text}");
         assert!(text.contains("atsq_requests_completed_total 1\n"));
@@ -291,9 +349,63 @@ mod tests {
     fn startup_metrics_absent_without_provenance() {
         let stats = ServiceStats::default();
         let snap = stats.snapshot(0, EngineCounters::default(), vec![0]);
-        let text = render(&snap, &[], 0, StartupInfo::default());
+        let text = render(&snap, &[], 0, StartupInfo::default(), &[]);
         assert!(!text.contains("atsq_index_startup_seconds"));
         assert!(!text.contains("atsq_index_loaded_from_snapshot"));
         assert!(!text.contains("atsq_shard_busy_seconds_total"));
+        assert!(!text.contains("atsq_city_state"));
+    }
+
+    #[test]
+    fn city_families_render_per_city_samples() {
+        use atsq_tenant::{CityId, TenantState};
+        let stats = ServiceStats::default();
+        let snap = stats.snapshot(0, EngineCounters::default(), vec![0]);
+        let cities = vec![
+            CityInfo {
+                city: CityId::new("tokyo").unwrap(),
+                state: TenantState::Ready,
+                pinned: false,
+                resident_bytes: 4096,
+                inflight: 2,
+                queries: 17,
+                loads: 3,
+                evictions: 2,
+                load_ms_total: 1500.0,
+                loaded_from_snapshot: true,
+                counters: EngineCounters {
+                    candidates: 9,
+                    ..EngineCounters::default()
+                },
+                last_error: None,
+            },
+            CityInfo {
+                city: CityId::new("osaka").unwrap(),
+                state: TenantState::Evicted,
+                pinned: false,
+                resident_bytes: 0,
+                inflight: 0,
+                queries: 4,
+                loads: 1,
+                evictions: 1,
+                load_ms_total: 200.0,
+                loaded_from_snapshot: false,
+                counters: EngineCounters::default(),
+                last_error: None,
+            },
+        ];
+        let text = render(&snap, &[], 0, StartupInfo::default(), &cities);
+        assert!(
+            text.contains("atsq_city_state{city=\"tokyo\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("atsq_city_state{city=\"osaka\"} 3\n"));
+        assert!(text.contains("atsq_city_resident_bytes{city=\"tokyo\"} 4096\n"));
+        assert!(text.contains("atsq_city_inflight{city=\"tokyo\"} 2\n"));
+        assert!(text.contains("atsq_city_queries_total{city=\"tokyo\"} 17\n"));
+        assert!(text.contains("atsq_city_loads_total{city=\"osaka\"} 1\n"));
+        assert!(text.contains("atsq_city_evictions_total{city=\"osaka\"} 1\n"));
+        assert!(text.contains("atsq_city_load_seconds_total{city=\"tokyo\"} 1.5\n"));
+        assert!(text.contains("atsq_city_candidates_total{city=\"tokyo\"} 9\n"));
     }
 }

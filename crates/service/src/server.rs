@@ -155,25 +155,27 @@ fn serve_connection(stream: TcpStream, handle: &ServiceHandle) {
 }
 
 fn respond(line: &str, handle: &ServiceHandle) -> String {
-    let message = match wire::decode_client_line(line, handle.dataset()) {
-        Ok(m) => m,
+    let envelope = match wire::decode_envelope(line) {
+        Ok(e) => e,
         Err(e) => return wire::encode_error(&e.to_string()).to_json(),
     };
-    match message {
-        wire::ClientMessage::Ping => crate::json::obj(vec![
-            ("status", crate::json::Value::Str("ok".into())),
-            ("pong", crate::json::Value::Bool(true)),
-        ])
-        .to_json(),
-        wire::ClientMessage::Stats => wire::encode_stats(&handle.stats()).to_json(),
-        wire::ClientMessage::Metrics => wire::encode_metrics(&handle.metrics_text()).to_json(),
-        wire::ClientMessage::Slowlog => wire::encode_slowlog(&handle.slowlog()).to_json(),
-        wire::ClientMessage::Query(request, deadline) => {
-            let submitted = match deadline {
-                Some(d) => handle.submit_with_deadline(request, Some(d)),
-                None => handle.submit(request),
+    match envelope {
+        // A query line: resolve the city first — the lease pins the
+        // city resident and supplies the vocabulary the stops decode
+        // against — then finish decoding and submit under that lease.
+        wire::Envelope::Query { city, value } => {
+            let lease = match handle.resolve_city(city.as_deref()) {
+                Ok(lease) => lease,
+                Err(e) => {
+                    return wire::encode_submit_error(&crate::service::SubmitError::City(e))
+                        .to_json()
+                }
             };
-            match submitted {
+            let (request, deadline) = match wire::decode_query_request(&value, lease.dataset()) {
+                Ok(decoded) => decoded,
+                Err(e) => return wire::encode_error(&e.to_string()).to_json(),
+            };
+            match handle.submit_leased(lease, request, deadline) {
                 Err(e) => wire::encode_submit_error(&e).to_json(),
                 Ok(ticket) => {
                     let id = ticket.request_id();
@@ -188,6 +190,36 @@ fn respond(line: &str, handle: &ServiceHandle) -> String {
                     }
                 }
             }
+        }
+        wire::Envelope::Control(message) => respond_control(message, handle),
+    }
+}
+
+/// Answers the dataset-free control ops: liveness, stats, metrics,
+/// slow log, and the multi-tenant city admin surface.
+fn respond_control(message: wire::ClientMessage, handle: &ServiceHandle) -> String {
+    match message {
+        wire::ClientMessage::Ping => crate::json::obj(vec![
+            ("status", crate::json::Value::Str("ok".into())),
+            ("pong", crate::json::Value::Bool(true)),
+        ])
+        .to_json(),
+        wire::ClientMessage::Stats => wire::encode_stats(&handle.stats()).to_json(),
+        wire::ClientMessage::Metrics => wire::encode_metrics(&handle.metrics_text()).to_json(),
+        wire::ClientMessage::Slowlog => wire::encode_slowlog(&handle.slowlog()).to_json(),
+        wire::ClientMessage::Cities => wire::encode_cities(&handle.cities()).to_json(),
+        wire::ClientMessage::CityLoad(city) => match handle.city_load(&city) {
+            Ok(cold) => wire::encode_city_ack(&city, Some(cold)).to_json(),
+            Err(e) => wire::encode_error(&e.to_string()).to_json(),
+        },
+        wire::ClientMessage::CityUnload(city) => match handle.city_unload(&city) {
+            Ok(()) => wire::encode_city_ack(&city, None).to_json(),
+            Err(e) => wire::encode_error(&e.to_string()).to_json(),
+        },
+        // `decode_envelope` never wraps a query in `Control`; answer
+        // defensively rather than panicking on a hot path.
+        wire::ClientMessage::Query(..) => {
+            wire::encode_error("internal: query routed as control").to_json()
         }
     }
 }
@@ -236,7 +268,7 @@ mod tests {
             assert!(request_id.is_some(), "query replies echo a request id");
             match decoded {
                 ServerReply::Ok { results, .. } => {
-                    let direct = handle.engine().atsq(handle.dataset(), q, 5);
+                    let direct = handle.engine().atsq(&handle.dataset(), q, 5);
                     assert_eq!(results.len(), direct.len());
                     for (got, want) in results.iter().zip(&direct) {
                         assert_eq!(got.trajectory, want.trajectory);

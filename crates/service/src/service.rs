@@ -1,4 +1,4 @@
-//! The [`Service`]: shared index, worker pool, cache and admission.
+//! The [`Service`]: city registry, worker pool, cache and admission.
 
 use crate::cache::LruCache;
 use crate::queue::{BoundedQueue, PushError};
@@ -8,6 +8,7 @@ use atsq_core::{
     run_batch_with_sinks, CacheOutcome, Engine, IndexCache, Partition, QueryEngine, QueryKind,
 };
 use atsq_obs::{CounterScope, CounterSink, SlowEntry, SlowLog, Stage, StageClock, TraceReport};
+use atsq_tenant::{CityId, CityInfo, CityLease, CityRegistry, TenantError};
 use atsq_types::{Dataset, Query, QueryResult, Result as LibResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -67,6 +68,11 @@ pub struct ServiceConfig {
     /// bucket are recorded regardless (always-sample-the-tail), and
     /// `Duration::ZERO` records every traced request.
     pub slowlog_threshold: Duration,
+    /// Per-city admission cap: requests in flight for one city beyond
+    /// which further submissions to that city are refused with
+    /// [`SubmitError::CityOverloaded`]. Keeps one hot tenant from
+    /// monopolising the shared queue. Zero = unlimited.
+    pub city_inflight_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +90,7 @@ impl Default for ServiceConfig {
             tracing: true,
             slowlog_capacity: 128,
             slowlog_threshold: Duration::from_millis(50),
+            city_inflight_cap: 0,
         }
     }
 }
@@ -93,6 +100,12 @@ impl Default for ServiceConfig {
 pub enum SubmitError {
     /// The bounded queue is full — shed load and retry later.
     QueueFull,
+    /// The city already has [`ServiceConfig::city_inflight_cap`]
+    /// requests in flight — per-city load shedding.
+    CityOverloaded(CityId),
+    /// The request's city could not be resolved (unknown name, or its
+    /// lazy load failed).
+    City(TenantError),
     /// The service is shutting down.
     Stopped,
 }
@@ -101,6 +114,10 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::CityOverloaded(city) => {
+                write!(f, "city `{city}` is at its in-flight request cap")
+            }
+            SubmitError::City(e) => write!(f, "{e}"),
             SubmitError::Stopped => write!(f, "service is shutting down"),
         }
     }
@@ -108,12 +125,22 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+impl From<TenantError> for SubmitError {
+    fn from(e: TenantError) -> SubmitError {
+        SubmitError::City(e)
+    }
+}
+
 struct Job {
     /// Service-assigned request id, echoed on the wire and carried by
     /// the request's [`TraceReport`].
     id: u64,
     request: Request,
     key: CacheKey,
+    /// Pins the request's city resident (and unevictable) from
+    /// admission until the reply is sent, and carries the engine and
+    /// dataset the workers execute against.
+    lease: CityLease,
     enqueued: Instant,
     deadline: Option<Instant>,
     /// Stage timer; present iff tracing is on for this request.
@@ -140,11 +167,42 @@ pub struct StartupInfo {
     pub loaded_from_snapshot: Option<bool>,
 }
 
+/// One city's LRU of canonicalised query → shared results.
+type CachePartition = LruCache<CacheKey, Arc<Vec<QueryResult>>>;
+
+/// Per-city result-cache partitions behind one lock (one lock
+/// round-trip per batch pass, same as the old single cache). Shared
+/// with the registry's evict hook, which drops a city's partition when
+/// the city leaves residence — a reloaded engine answers identically,
+/// but stale entries for an unloaded city would otherwise hold its
+/// results (and their memory) alive.
+struct CityCaches {
+    partitions: Mutex<HashMap<CityId, CachePartition>>,
+    /// Capacity of each city's partition; zero disables caching.
+    capacity: usize,
+}
+
+impl CityCaches {
+    fn new(capacity: usize) -> CityCaches {
+        let partitions = Mutex::new(HashMap::new());
+        partitions.set_name("service.result_cache");
+        CityCaches {
+            partitions,
+            capacity,
+        }
+    }
+
+    fn remove(&self, city: &CityId) {
+        let mut partitions = self.partitions.lock();
+        partitions.remove(city);
+    }
+}
+
 struct Shared {
-    dataset: Arc<Dataset>,
-    engine: Arc<Engine>,
+    registry: Arc<CityRegistry>,
+    default_city: CityId,
     queue: BoundedQueue<Job>,
-    cache: Mutex<LruCache<CacheKey, Arc<Vec<QueryResult>>>>,
+    caches: Arc<CityCaches>,
     stats: ServiceStats,
     config: ServiceConfig,
     next_request_id: AtomicU64,
@@ -194,13 +252,28 @@ impl Service {
         Ok((service, outcome))
     }
 
-    /// Starts the worker pool over an existing dataset and engine.
+    /// Starts the worker pool over an existing dataset and engine —
+    /// single-city serving as the one-entry case of
+    /// [`Service::start_registry`] (the city is [`CityId::DEFAULT`],
+    /// pinned resident).
     pub fn start(dataset: Arc<Dataset>, engine: Arc<Engine>, config: ServiceConfig) -> Self {
+        Self::start_registry(Arc::new(CityRegistry::single(dataset, engine)), config)
+    }
+
+    /// Starts the worker pool over a registry of cities. Requests name
+    /// a city (or get the registry's default); the first request to a
+    /// city triggers its single-flight lazy load, and the registry's
+    /// memory budget governs which cities stay resident.
+    pub fn start_registry(registry: Arc<CityRegistry>, config: ServiceConfig) -> Self {
+        let caches = Arc::new(CityCaches::new(config.cache_capacity));
+        let hook_caches = Arc::clone(&caches);
+        registry.set_evict_hook(move |city| hook_caches.remove(city));
+        let default_city = registry.default_city().clone();
         let shared = Arc::new(Shared {
-            dataset,
-            engine,
+            registry,
+            default_city,
             queue: BoundedQueue::new(config.queue_capacity),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            caches,
             stats: ServiceStats::default(),
             next_request_id: AtomicU64::new(0),
             slowlog: SlowLog::new(
@@ -210,7 +283,6 @@ impl Service {
             startup: Mutex::new(StartupInfo::default()),
             config: config.clone(),
         });
-        shared.cache.set_name("service.result_cache");
         shared.startup.set_name("service.startup_info");
         let workers = (0..config.workers)
             .map(|i| {
@@ -301,10 +373,23 @@ impl ServiceHandle {
         self.submit_with_deadline(request, self.shared.config.default_deadline)
     }
 
-    /// Submits a request that expires `deadline` after submission
-    /// (`None` = never).
+    /// Submits a request to the default city that expires `deadline`
+    /// after submission (`None` = never).
     pub fn submit_with_deadline(
         &self,
+        request: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let lease = self.shared.registry.resolve(&self.shared.default_city)?;
+        self.submit_leased(lease, request, deadline)
+    }
+
+    /// Submits a request against an already resolved city lease (see
+    /// [`ServiceHandle::resolve_city`]). The lease rides the queue with
+    /// the job, keeping the city unevictable until the reply is sent.
+    pub fn submit_leased(
+        &self,
+        lease: CityLease,
         request: Request,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
@@ -312,6 +397,13 @@ impl ServiceHandle {
         // stage covers key canonicalisation too; `fetch_add + 1` makes
         // ids start at 1 (0 reads as "no id" on the wire).
         let mut clock = self.shared.config.tracing.then(StageClock::start);
+        // Per-city load shedding: the lease count includes this
+        // request, so a cap of N admits at most N in flight per city.
+        let cap = self.shared.config.city_inflight_cap;
+        if cap > 0 && lease.inflight_now() > cap as u64 {
+            self.shared.stats.record_rejected();
+            return Err(SubmitError::CityOverloaded(lease.city().clone()));
+        }
         // ordering: Relaxed — unique-id ticket; fetch_add's atomicity
         // alone guarantees distinct ids, no memory is published.
         let id = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
@@ -321,6 +413,7 @@ impl ServiceHandle {
             id,
             key: request.cache_key(),
             request,
+            lease,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
             clock: None,
@@ -353,8 +446,16 @@ impl ServiceHandle {
     /// are read once and the aggregate derived from the per-shard
     /// pass, so `sum(shard_candidates) == engine.candidates` holds
     /// even while workers are executing.
+    ///
+    /// Engine counters are scoped to the **default city** (all there is
+    /// under single-city serving); per-city counters for every tenant
+    /// are on [`ServiceHandle::cities`]. A non-resident default city
+    /// reports zeros rather than forcing a load.
     pub fn stats(&self) -> StatsSnapshot {
-        let per_shard = self.shared.engine.per_shard_counters();
+        let per_shard = match self.shared.registry.peek_engine(&self.shared.default_city) {
+            Some(engine) => engine.per_shard_counters(),
+            None => Vec::new(),
+        };
         let shard_candidates = per_shard.iter().map(|c| c.candidates).collect();
         let engine = atsq_core::EngineCounters::sum(per_shard);
         self.shared
@@ -362,26 +463,83 @@ impl ServiceHandle {
             .snapshot(self.shared.queue.len(), engine, shard_candidates)
     }
 
-    /// The served dataset.
-    pub fn dataset(&self) -> &Arc<Dataset> {
-        &self.shared.dataset
+    /// The default city's dataset, loading it if necessary.
+    ///
+    /// # Panics
+    /// If the default city's lazy load fails (cannot happen under
+    /// single-city serving, where the city is always resident).
+    pub fn dataset(&self) -> Arc<Dataset> {
+        let lease = self
+            .shared
+            .registry
+            .resolve_uncounted(&self.shared.default_city)
+            .expect("invariant: the default city must be loadable");
+        Arc::clone(lease.dataset())
     }
 
-    /// The served engine.
-    pub fn engine(&self) -> &Arc<Engine> {
-        &self.shared.engine
+    /// The default city's engine, loading it if necessary.
+    ///
+    /// # Panics
+    /// If the default city's lazy load fails (cannot happen under
+    /// single-city serving, where the city is always resident).
+    pub fn engine(&self) -> Arc<Engine> {
+        let lease = self
+            .shared
+            .registry
+            .resolve_uncounted(&self.shared.default_city)
+            .expect("invariant: the default city must be loadable");
+        Arc::clone(lease.engine())
+    }
+
+    /// The registry of hosted cities behind this service.
+    pub fn registry(&self) -> &Arc<CityRegistry> {
+        &self.shared.registry
+    }
+
+    /// Resolves the city a request names (`None` = the default city),
+    /// triggering its single-flight lazy load if it is not resident.
+    /// The lease pins the city until dropped; pass it to
+    /// [`ServiceHandle::submit_leased`].
+    pub fn resolve_city(&self, name: Option<&str>) -> Result<CityLease, TenantError> {
+        match name {
+            None => self.shared.registry.resolve(&self.shared.default_city),
+            Some(name) => self.shared.registry.resolve(&CityId::new(name)?),
+        }
+    }
+
+    /// Snapshot of every hosted city (admin `cities` op).
+    pub fn cities(&self) -> Vec<CityInfo> {
+        self.shared.registry.cities()
+    }
+
+    /// Warms a city up (admin `city_load` op). Returns whether this
+    /// call performed the load.
+    pub fn city_load(&self, name: &str) -> Result<bool, TenantError> {
+        self.shared.registry.load(&CityId::new(name)?)
+    }
+
+    /// Drops a city's engine and dataset (admin `city_unload` op);
+    /// refuses while requests are in flight.
+    pub fn city_unload(&self, name: &str) -> Result<(), TenantError> {
+        self.shared.registry.unload(&CityId::new(name)?)
     }
 
     /// The full metrics surface rendered in Prometheus text format —
     /// request/cache/queue counters, the latency histogram, per-stage
-    /// and per-shard aggregates, and startup provenance. This backs the
-    /// wire `metrics` op and the `atsq metrics` CLI.
+    /// and per-shard aggregates, startup provenance, and the
+    /// `atsq_city_*` per-tenant families. This backs the wire `metrics`
+    /// op and the `atsq metrics` CLI.
     pub fn metrics_text(&self) -> String {
+        let shard_busy_ns = match self.shared.registry.peek_engine(&self.shared.default_city) {
+            Some(engine) => engine.per_shard_busy_ns(),
+            None => Vec::new(),
+        };
         crate::metrics::render(
             &self.stats(),
-            &self.shared.engine.per_shard_busy_ns(),
+            &shard_busy_ns,
             self.shared.slowlog.len(),
             *self.shared.startup.lock(),
+            &self.shared.registry.cities(),
         )
     }
 
@@ -419,7 +577,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     let mut runnable: Vec<Job> = Vec::with_capacity(jobs.len());
     {
         let now = Instant::now();
-        let mut cache = shared.cache.lock();
+        let mut caches = shared.caches.partitions.lock();
         for mut job in jobs {
             if let Some(c) = &mut job.clock {
                 c.mark(Stage::Queue);
@@ -429,7 +587,14 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
                 finish(shared, job, Response::Expired, "expired", None);
                 continue;
             }
-            let hit = cache.get(&job.key).cloned();
+            // Result caching is partitioned per city: the same query
+            // text means different things (and different answers) in
+            // different cities.
+            let hit = caches
+                .entry(job.lease.city().clone())
+                .or_insert_with(|| LruCache::new(shared.caches.capacity))
+                .get(&job.key)
+                .cloned();
             if let Some(c) = &mut job.clock {
                 c.mark(Stage::Cache);
             }
@@ -450,14 +615,14 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         return;
     }
 
-    // Coalescing: within one batch, jobs sharing a cache key execute
-    // once; the duplicates reuse the primary's result. Zipf-skewed
-    // traffic makes same-key collisions in a batch common.
+    // Coalescing: within one batch, jobs sharing a city and cache key
+    // execute once; the duplicates reuse the primary's result.
+    // Zipf-skewed traffic makes same-key collisions in a batch common.
     let mut primaries: Vec<Job> = Vec::with_capacity(runnable.len());
     let mut duplicates: Vec<(Job, usize)> = Vec::new();
-    let mut first_with_key: HashMap<CacheKey, usize> = HashMap::new();
+    let mut first_with_key: HashMap<(CityId, CacheKey), usize> = HashMap::new();
     for job in runnable {
-        match first_with_key.entry(job.key.clone()) {
+        match first_with_key.entry((job.lease.city().clone(), job.key.clone())) {
             std::collections::hash_map::Entry::Occupied(e) => duplicates.push((job, *e.get())),
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(primaries.len());
@@ -466,13 +631,21 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         }
     }
 
-    // Micro-batching: same-shaped top-k requests share one
-    // `run_batch` call; everything else runs individually.
-    let mut groups: HashMap<(QueryKind, usize), Vec<usize>> = HashMap::new();
+    // Micro-batching: same-city, same-shaped top-k requests share one
+    // `run_batch` call (one engine, one dataset per group); everything
+    // else runs individually.
+    let mut groups: HashMap<(CityId, QueryKind, usize), Vec<usize>> = HashMap::new();
     for (i, job) in primaries.iter().enumerate() {
+        let city = job.lease.city().clone();
         match &job.request {
-            Request::Atsq { k, .. } => groups.entry((QueryKind::Atsq, *k)).or_default().push(i),
-            Request::Oatsq { k, .. } => groups.entry((QueryKind::Oatsq, *k)).or_default().push(i),
+            Request::Atsq { k, .. } => groups
+                .entry((city, QueryKind::Atsq, *k))
+                .or_default()
+                .push(i),
+            Request::Oatsq { k, .. } => groups
+                .entry((city, QueryKind::Oatsq, *k))
+                .or_default()
+                .push(i),
             Request::AtsqRange { .. } | Request::OatsqRange { .. } => {}
         }
     }
@@ -487,10 +660,16 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
 
     let mut outcomes: Vec<Option<Result<Arc<Vec<QueryResult>>, String>>> =
         (0..primaries.len()).map(|_| None).collect();
-    for ((kind, k), members) in groups {
+    for ((_city, kind, k), members) in groups {
         if members.len() < MIN_GROUP {
             continue;
         }
+        // All members hold leases on the same city; run the group
+        // against the first member's pinned engine and dataset.
+        let (group_engine, group_dataset) = {
+            let lease = &primaries[members[0]].lease;
+            (Arc::clone(lease.engine()), Arc::clone(lease.dataset()))
+        };
         let queries: Vec<Query> = members
             .iter()
             .map(|&i| primaries[i].request.query().clone())
@@ -510,8 +689,8 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         let threads = members.len().min(shared.config.batch_threads.max(1));
         match catch_execution(|| {
             run_batch_with_sinks(
-                shared.engine.as_ref(),
-                &shared.dataset,
+                group_engine.as_ref(),
+                &group_dataset,
                 &queries,
                 k,
                 kind,
@@ -542,7 +721,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     // Collect this batch's cache inserts and take the cache lock once
     // after the loop: one lock round-trip per batch instead of one per
     // executed request keeps the hot path off the mutex.
-    let mut inserts: Vec<(CacheKey, Arc<Vec<QueryResult>>)> = Vec::new();
+    let mut inserts: Vec<(CityId, CacheKey, Arc<Vec<QueryResult>>)> = Vec::new();
     for (i, mut job) in primaries.into_iter().enumerate() {
         let outcome = match outcomes[i].take() {
             Some(outcome) => outcome,
@@ -555,7 +734,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
                 let sink = sinks.as_ref().map(|s| s[i].clone());
                 let outcome = catch_execution(|| {
                     let _ctx = sink.map(CounterScope::enter);
-                    execute_single(shared, &job.request)
+                    execute_single(&job)
                 })
                 .map(Arc::new);
                 if let Some(c) = &mut job.clock {
@@ -568,7 +747,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         match &outcome {
             Ok(results) => {
                 shared.stats.record_cache_miss();
-                inserts.push((job.key.clone(), results.clone()));
+                inserts.push((job.lease.city().clone(), job.key.clone(), results.clone()));
                 send_ok(shared, job, results, false, sink);
             }
             Err(panic_msg) => {
@@ -582,9 +761,12 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
         replies.push(outcome);
     }
     if !inserts.is_empty() {
-        let mut cache = shared.cache.lock();
-        for (key, results) in inserts {
-            cache.insert(key, results);
+        let mut caches = shared.caches.partitions.lock();
+        for (city, key, results) in inserts {
+            caches
+                .entry(city)
+                .or_insert_with(|| LruCache::new(shared.caches.capacity))
+                .insert(key, results);
         }
     }
 
@@ -693,9 +875,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn execute_single(shared: &Shared, request: &Request) -> Vec<QueryResult> {
-    let (engine, ds) = (shared.engine.as_ref(), shared.dataset.as_ref());
-    match request {
+fn execute_single(job: &Job) -> Vec<QueryResult> {
+    let (engine, ds) = (job.lease.engine().as_ref(), job.lease.dataset().as_ref());
+    match &job.request {
         Request::Atsq { query, k } => engine.atsq(ds, query, *k),
         Request::Oatsq { query, k } => engine.oatsq(ds, query, *k),
         Request::AtsqRange { query, tau } => engine.atsq_range(ds, query, *tau),
@@ -730,7 +912,7 @@ mod tests {
                     k: 5,
                 })
                 .unwrap();
-            let direct = handle.engine().atsq(handle.dataset(), q, 5);
+            let direct = handle.engine().atsq(&handle.dataset(), q, 5);
             assert_eq!(via_service.results().unwrap(), direct.as_slice());
         }
         service.shutdown();
@@ -1072,7 +1254,7 @@ mod tests {
         let handle = service.handle();
         let expected: Vec<_> = queries
             .iter()
-            .map(|q| handle.engine().atsq(handle.dataset(), q, 5))
+            .map(|q| handle.engine().atsq(&handle.dataset(), q, 5))
             .collect();
         thread::scope(|scope| {
             for t in 0..8 {
@@ -1186,6 +1368,174 @@ mod tests {
         assert!(response.results().is_some());
         assert!(report.is_none(), "no tracing, no report");
         assert!(handle.slowlog().is_empty());
+        service.shutdown();
+    }
+
+    /// A registry with `n` lazily-built in-memory cities (distinct
+    /// seeds, so distinct datasets and answers), named `city0..`.
+    fn lazy_registry(n: usize, budget: Option<u64>) -> Arc<CityRegistry> {
+        let registry = Arc::new(CityRegistry::new(CityId::new("city0").unwrap(), budget));
+        for i in 0..n {
+            let city = CityId::new(format!("city{i}")).unwrap();
+            registry
+                .add_city(
+                    city,
+                    Arc::new(move || {
+                        let dataset = generate(&CityConfig::tiny(100 + i as u64)).unwrap();
+                        let (engine, _) = Engine::build_gat(&dataset, 1, Partition::Hash, None)
+                            .map_err(|e| e.to_string())?;
+                        Ok(atsq_tenant::LoadedCity {
+                            dataset: Arc::new(dataset),
+                            engine: Arc::new(engine),
+                            loaded_from_snapshot: false,
+                        })
+                    }),
+                )
+                .unwrap();
+        }
+        registry
+    }
+
+    /// Every city in a multi-city service answers exactly as a
+    /// dedicated single-city service over the same dataset would.
+    #[test]
+    fn per_city_answers_match_dedicated_servers() {
+        let registry = lazy_registry(3, None);
+        let service = Service::start_registry(
+            registry,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        for i in 0..3usize {
+            let name = format!("city{i}");
+            let dataset = generate(&CityConfig::tiny(100 + i as u64)).unwrap();
+            let queries = generate_queries(&dataset, &QueryGenConfig::default(), 4);
+            let dedicated = Service::build(dataset, ServiceConfig::default()).unwrap();
+            for q in &queries {
+                let req = Request::Atsq {
+                    query: q.clone(),
+                    k: 5,
+                };
+                let lease = handle.resolve_city(Some(&name)).unwrap();
+                let ticket = handle.submit_leased(lease, req.clone(), None).unwrap();
+                let via_multi = ticket.wait().unwrap();
+                let via_dedicated = dedicated.handle().call(req).unwrap();
+                assert_eq!(
+                    via_multi.results().unwrap(),
+                    via_dedicated.results().unwrap(),
+                    "{name}"
+                );
+            }
+            dedicated.shutdown();
+        }
+        let infos = handle.cities();
+        assert_eq!(infos.len(), 3);
+        for info in &infos {
+            assert_eq!(info.queries, 4, "{info:?}");
+        }
+        service.shutdown();
+    }
+
+    /// The result cache is partitioned by city: the same wire query
+    /// never leaks another city's cached answer.
+    #[test]
+    fn result_cache_is_partitioned_per_city() {
+        let registry = lazy_registry(2, None);
+        let service = Service::start_registry(
+            registry,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        // One query shaped to decode in both cities (raw activity id 0
+        // exists in both vocabularies).
+        let query = Query::new(vec![atsq_types::QueryPoint::new(
+            atsq_types::Point::new(5.0, 5.0),
+            atsq_types::ActivitySet::from_ids([atsq_types::ActivityId(0)]),
+        )])
+        .unwrap();
+        let ask = |city: &str| {
+            let lease = handle.resolve_city(Some(city)).unwrap();
+            let ticket = handle
+                .submit_leased(
+                    lease,
+                    Request::Atsq {
+                        query: query.clone(),
+                        k: 5,
+                    },
+                    None,
+                )
+                .unwrap();
+            ticket.wait().unwrap()
+        };
+        let a1 = ask("city0");
+        let b1 = ask("city1");
+        // Identical request text, different datasets: different answers.
+        assert_ne!(a1.results().unwrap(), b1.results().unwrap());
+        // Re-asking hits each city's own partition and repeats its own
+        // answer (the second round must be served cached).
+        let a2 = ask("city0");
+        let b2 = ask("city1");
+        assert_eq!(a1.results().unwrap(), a2.results().unwrap());
+        assert_eq!(b1.results().unwrap(), b2.results().unwrap());
+        assert!(a2.is_cached() && b2.is_cached(), "{a2:?} {b2:?}");
+        service.shutdown();
+    }
+
+    /// The per-city in-flight cap sheds load for one hot city without
+    /// touching the shared queue or other cities.
+    #[test]
+    fn city_inflight_cap_rejects_the_hot_city_only() {
+        let registry = lazy_registry(2, None);
+        // No workers: submissions hold their leases in the queue.
+        let service = Service::start_registry(
+            registry,
+            ServiceConfig {
+                workers: 0,
+                city_inflight_cap: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let submit_to = |city: &str| {
+            let dataset = handle.resolve_city(Some(city)).unwrap().dataset().clone();
+            let q = generate_queries(&dataset, &QueryGenConfig::default(), 1)
+                .pop()
+                .unwrap();
+            let lease = handle.resolve_city(Some(city)).unwrap();
+            handle.submit_leased(lease, Request::Atsq { query: q, k: 3 }, None)
+        };
+        let _t1 = submit_to("city0").unwrap();
+        let _t2 = submit_to("city0").unwrap();
+        match submit_to("city0") {
+            Err(SubmitError::CityOverloaded(city)) => assert_eq!(city.as_str(), "city0"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The cold city still admits.
+        assert!(submit_to("city1").is_ok());
+        assert_eq!(handle.stats().rejected, 1);
+        service.shutdown();
+    }
+
+    /// An unknown city surfaces as a structured submit error.
+    #[test]
+    fn unknown_city_is_a_submit_error() {
+        let (service, _) = tiny_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        match handle.resolve_city(Some("atlantis")) {
+            Err(TenantError::UnknownCity(city)) => assert_eq!(city.as_str(), "atlantis"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invalid names are refused before touching the registry.
+        assert!(handle.resolve_city(Some("no/slashes")).is_err());
         service.shutdown();
     }
 }

@@ -9,7 +9,13 @@
 //! ```
 //!
 //! * `op` — `atsq` | `oatsq` (with `k`), `atsq_range` | `oatsq_range`
-//!   (with `tau`), `stats`, `metrics`, `slowlog`, or `ping`.
+//!   (with `tau`), `stats`, `metrics`, `slowlog`, `ping`, or the
+//!   multi-tenant admin ops `cities`, `city_load`, `city_unload`
+//!   (the latter two with a `city` member).
+//! * `city` (optional on query ops) — the named dataset to query in a
+//!   multi-city server. Absent means the default city, so single-city
+//!   clients are unaffected. The server resolves the city *before*
+//!   decoding stops: activity names bind to that city's vocabulary.
 //! * Stops carry activities as names (`acts`, resolved against the
 //!   dataset vocabulary) and/or raw ids (`act_ids`).
 //! * `deadline_ms` (optional) — per-request deadline.
@@ -59,24 +65,91 @@ pub enum ClientMessage {
     Slowlog,
     /// Liveness probe.
     Ping,
+    /// Per-city registry listing (`{"op":"cities"}`).
+    Cities,
+    /// Warm a city's engine ahead of traffic.
+    CityLoad(String),
+    /// Release a city's resident memory.
+    CityUnload(String),
 }
 
-/// Decodes one request line against a dataset vocabulary.
-pub fn decode_client_line(line: &str, dataset: &Dataset) -> Result<ClientMessage, WireError> {
+/// A parsed line whose query body has *not* yet been decoded.
+///
+/// Query decoding needs a dataset (activity names bind to a
+/// vocabulary), and in a multi-city server the dataset depends on the
+/// `city` member of the very line being decoded. The envelope splits
+/// the two steps: the server first resolves `city` to a lease, then
+/// finishes decoding against that city's dataset with
+/// [`decode_query_request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// A query op: the target city (if named) plus the retained JSON
+    /// to finish decoding once the city's dataset is resolved.
+    Query {
+        /// `city` member, when present.
+        city: Option<String>,
+        /// The parsed line, for [`decode_query_request`].
+        value: Value,
+    },
+    /// A control op that needs no dataset.
+    Control(ClientMessage),
+}
+
+/// Parses one request line far enough to route it: control ops decode
+/// completely; query ops yield an [`Envelope::Query`] naming the
+/// target city so the caller can resolve a dataset before finishing
+/// with [`decode_query_request`].
+pub fn decode_envelope(line: &str) -> Result<Envelope, WireError> {
     let value = parse(line).map_err(|e| bad(e.to_string()))?;
     let op = value
         .get("op")
         .and_then(Value::as_str)
         .ok_or_else(|| bad("missing `op`"))?;
+    let city_member = |value: &Value| -> Result<String, WireError> {
+        value
+            .get("city")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| bad(format!("`{op}` needs a `city` string")))
+    };
     match op {
-        "stats" => return Ok(ClientMessage::Stats),
-        "metrics" => return Ok(ClientMessage::Metrics),
-        "slowlog" => return Ok(ClientMessage::Slowlog),
-        "ping" => return Ok(ClientMessage::Ping),
-        "atsq" | "oatsq" | "atsq_range" | "oatsq_range" => {}
-        other => return Err(bad(format!("unknown op `{other}`"))),
+        "stats" => Ok(Envelope::Control(ClientMessage::Stats)),
+        "metrics" => Ok(Envelope::Control(ClientMessage::Metrics)),
+        "slowlog" => Ok(Envelope::Control(ClientMessage::Slowlog)),
+        "ping" => Ok(Envelope::Control(ClientMessage::Ping)),
+        "cities" => Ok(Envelope::Control(ClientMessage::Cities)),
+        "city_load" => Ok(Envelope::Control(ClientMessage::CityLoad(city_member(
+            &value,
+        )?))),
+        "city_unload" => Ok(Envelope::Control(ClientMessage::CityUnload(city_member(
+            &value,
+        )?))),
+        "atsq" | "oatsq" | "atsq_range" | "oatsq_range" => {
+            let city = match value.get("city") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| bad("`city` must be a string"))?
+                        .to_owned(),
+                ),
+            };
+            Ok(Envelope::Query { city, value })
+        }
+        other => Err(bad(format!("unknown op `{other}`"))),
     }
-    let query = decode_query(&value, dataset)?;
+}
+
+/// Finishes decoding an [`Envelope::Query`]'s retained JSON against
+/// the resolved city's dataset vocabulary.
+pub fn decode_query_request(
+    value: &Value,
+    dataset: &Dataset,
+) -> Result<(Request, Option<Duration>), WireError> {
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing `op`"))?;
+    let query = decode_query(value, dataset)?;
     let deadline = match value.get("deadline_ms") {
         None | Some(Value::Null) => None,
         Some(v) => Some(Duration::from_millis(
@@ -108,7 +181,22 @@ pub fn decode_client_line(line: &str, dataset: &Dataset) -> Result<ClientMessage
         }
         other => return Err(bad(format!("unknown op `{other}`"))),
     };
-    Ok(ClientMessage::Query(request, deadline))
+    Ok((request, deadline))
+}
+
+/// Decodes one request line against a single dataset vocabulary.
+///
+/// Single-dataset convenience: any `city` member is ignored. Servers
+/// hosting multiple cities use [`decode_envelope`] +
+/// [`decode_query_request`] so the vocabulary matches the target city.
+pub fn decode_client_line(line: &str, dataset: &Dataset) -> Result<ClientMessage, WireError> {
+    match decode_envelope(line)? {
+        Envelope::Control(message) => Ok(message),
+        Envelope::Query { value, .. } => {
+            let (request, deadline) = decode_query_request(&value, dataset)?;
+            Ok(ClientMessage::Query(request, deadline))
+        }
+    }
 }
 
 fn decode_query(value: &Value, dataset: &Dataset) -> Result<Query, WireError> {
@@ -163,6 +251,17 @@ fn decode_query(value: &Value, dataset: &Dataset) -> Result<Query, WireError> {
 
 /// Encodes a query for the client side of the protocol.
 pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Value {
+    encode_request_for_city(request, deadline, None)
+}
+
+/// Encodes a query addressed to a named city. `None` omits the `city`
+/// member entirely (the default city), keeping single-city servers'
+/// wire traffic byte-identical to the pre-tenant protocol.
+pub fn encode_request_for_city(
+    request: &Request,
+    deadline: Option<Duration>,
+    city: Option<&str>,
+) -> Value {
     let (op, query) = (request.op(), request.query());
     let stops: Vec<Value> = query
         .points
@@ -184,6 +283,9 @@ pub fn encode_request(request: &Request, deadline: Option<Duration>) -> Value {
         })
         .collect();
     let mut members = vec![("op", Value::Str(op.into())), ("stops", Value::Arr(stops))];
+    if let Some(city) = city {
+        members.push(("city", Value::Str(city.into())));
+    }
     match request {
         Request::Atsq { k, .. } | Request::Oatsq { k, .. } => {
             members.push(("k", Value::Num(*k as f64)));
@@ -234,11 +336,13 @@ pub fn encode_response(response: &Response, request_id: Option<u64>) -> Value {
     obj(members)
 }
 
-/// Encodes an admission failure.
+/// Encodes an admission failure. Per-city overload is `rejected` like
+/// a full queue (the client may retry); tenant resolution failures
+/// (unknown city, failed load) are `error` with the structured message.
 pub fn encode_submit_error(error: &SubmitError) -> Value {
     let status = match error {
-        SubmitError::QueueFull => "rejected",
-        SubmitError::Stopped => "error",
+        SubmitError::QueueFull | SubmitError::CityOverloaded(_) => "rejected",
+        SubmitError::Stopped | SubmitError::City(_) => "error",
     };
     obj(vec![
         ("status", Value::Str(status.into())),
@@ -252,6 +356,52 @@ pub fn encode_error(message: &str) -> Value {
         ("status", Value::Str("error".into())),
         ("error", Value::Str(message.into())),
     ])
+}
+
+/// Encodes the city-registry listing as a wire reply: one entry per
+/// registered city with its lifecycle state, memory footprint and
+/// tenancy counters.
+pub fn encode_cities(cities: &[atsq_tenant::CityInfo]) -> Value {
+    let encoded: Vec<Value> = cities
+        .iter()
+        .map(|c| {
+            let mut members = vec![
+                ("city", Value::Str(c.city.as_str().into())),
+                ("state", Value::Str(c.state.name().into())),
+                ("pinned", Value::Bool(c.pinned)),
+                ("resident_bytes", Value::Num(c.resident_bytes as f64)),
+                ("inflight", Value::Num(c.inflight as f64)),
+                ("queries", Value::Num(c.queries as f64)),
+                ("loads", Value::Num(c.loads as f64)),
+                ("evictions", Value::Num(c.evictions as f64)),
+                ("load_ms_total", Value::Num(c.load_ms_total)),
+                ("loaded_from_snapshot", Value::Bool(c.loaded_from_snapshot)),
+                ("candidates", Value::Num(c.counters.candidates as f64)),
+            ];
+            if let Some(err) = &c.last_error {
+                members.push(("last_error", Value::Str(err.clone())));
+            }
+            obj(members)
+        })
+        .collect();
+    obj(vec![
+        ("status", Value::Str("ok".into())),
+        ("cities", Value::Arr(encoded)),
+    ])
+}
+
+/// Encodes the acknowledgement for `city_load` / `city_unload`.
+/// `cold` is meaningful for loads: true when the op actually built or
+/// restored an engine rather than finding one already resident.
+pub fn encode_city_ack(city: &str, cold: Option<bool>) -> Value {
+    let mut members = vec![
+        ("status", Value::Str("ok".into())),
+        ("city", Value::Str(city.into())),
+    ];
+    if let Some(cold) = cold {
+        members.push(("cold", Value::Bool(cold)));
+    }
+    obj(members)
 }
 
 /// Encodes a Prometheus metrics page as a wire reply.
@@ -537,6 +687,70 @@ mod tests {
             r#"{"op":"atsq","k":3,"stops":[{"x":1,"y":2,"act_ids":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]}]}"#,
         ] {
             assert!(decode_client_line(bad_line, &ds).is_err(), "{bad_line}");
+        }
+    }
+
+    #[test]
+    fn city_envelopes_split_routing_from_query_decode() {
+        let ds = dataset();
+        let query = Query::new(vec![QueryPoint::new(
+            Point::new(1.0, 2.0),
+            ActivitySet::from_ids([ActivityId(0)]),
+        )])
+        .unwrap();
+        let request = Request::Atsq { query, k: 4 };
+        // A city-addressed line surfaces the city before any dataset
+        // is needed; the retained value then decodes against it.
+        let line = encode_request_for_city(&request, None, Some("tokyo")).to_json();
+        match decode_envelope(&line).unwrap() {
+            Envelope::Query { city, value } => {
+                assert_eq!(city.as_deref(), Some("tokyo"));
+                let (decoded, deadline) = decode_query_request(&value, &ds).unwrap();
+                assert_eq!(decoded, request);
+                assert_eq!(deadline, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // No city: byte-identical to the pre-tenant wire format.
+        let plain = encode_request(&request, None).to_json();
+        assert!(!plain.contains("city"), "{plain}");
+        match decode_envelope(&plain).unwrap() {
+            Envelope::Query { city, .. } => assert_eq!(city, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn city_admin_ops_decode() {
+        assert_eq!(
+            decode_envelope(r#"{"op":"cities"}"#).unwrap(),
+            Envelope::Control(ClientMessage::Cities)
+        );
+        assert_eq!(
+            decode_envelope(r#"{"op":"city_load","city":"osaka"}"#).unwrap(),
+            Envelope::Control(ClientMessage::CityLoad("osaka".into()))
+        );
+        assert_eq!(
+            decode_envelope(r#"{"op":"city_unload","city":"osaka"}"#).unwrap(),
+            Envelope::Control(ClientMessage::CityUnload("osaka".into()))
+        );
+        // The admin ops require a city string.
+        assert!(decode_envelope(r#"{"op":"city_load"}"#).is_err());
+        assert!(decode_envelope(r#"{"op":"atsq","city":7,"stops":[]}"#).is_err());
+    }
+
+    #[test]
+    fn tenant_submit_errors_map_to_statuses() {
+        use atsq_tenant::{CityId, TenantError};
+        let overloaded = SubmitError::CityOverloaded(CityId::new("tokyo").unwrap());
+        match decode_server_reply(&encode_submit_error(&overloaded).to_json()).unwrap() {
+            ServerReply::Rejected(msg) => assert!(msg.contains("tokyo"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let unknown = SubmitError::City(TenantError::UnknownCity(CityId::new("atlantis").unwrap()));
+        match decode_server_reply(&encode_submit_error(&unknown).to_json()).unwrap() {
+            ServerReply::Error(msg) => assert!(msg.contains("atlantis"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -1,0 +1,39 @@
+//! Multi-city, multi-tenant hosting for atsq engines.
+//!
+//! The paper's GAT index answers queries over *one* city's check-in
+//! dataset. A deployment serves a fleet of metro areas from one
+//! process, with traffic heavily skewed across cities. This crate adds
+//! the tenancy layer that makes that shape work:
+//!
+//! - [`CityRegistry`] maps [`CityId`]s to engines. Each city walks a
+//!   [`TenantState`] lifecycle (`Unloaded → Loading → Ready → Evicted`).
+//! - The first query to a city triggers a **single-flight lazy load**:
+//!   one thread runs the (expensive, blocking) dataset read + index
+//!   build/snapshot load with no registry lock held, while concurrent
+//!   requests for the same city wait on a condition variable.
+//! - A **memory-budget accountant** estimates resident bytes per city
+//!   (dataset + index component sizes) and evicts the
+//!   least-recently-queried cities when the budget is exceeded. Cities
+//!   with in-flight requests — tracked by RAII [`CityLease`]s — are
+//!   never evicted.
+//! - [`registry_from_dir`] builds a registry from a directory with one
+//!   subdirectory per city (`<dir>/<name>/city.atsq` plus a per-city
+//!   `index/` snapshot cache), so cold loads go through
+//!   `IndexCache::load_or_build` and hit snapshots when available.
+//!
+//! The service layer consumes this crate through [`CityRegistry`]
+//! directly: single-city serving is just a one-entry registry with the
+//! city pinned (see [`CityRegistry::single`]), not a special case.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod disk;
+mod registry;
+
+pub use disk::{
+    registry_from_dir, snapshot_factory, DiskRegistryOptions, CITY_DATASET_FILE, CITY_INDEX_DIR,
+};
+pub use registry::{
+    CityId, CityInfo, CityLease, CityRegistry, EngineFactory, LoadedCity, TenantError, TenantState,
+};

@@ -258,6 +258,19 @@ impl Vocabulary {
         self.counts[id.index()] += n;
     }
 
+    /// Rough resident heap size in bytes. Each name is stored twice
+    /// (the `names` vec and the `by_name` key) alongside its id and
+    /// count slot; allocator overhead is not modelled.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Vocabulary>();
+        for name in &self.names {
+            bytes += 2 * (size_of::<String>() + name.len());
+            bytes += size_of::<ActivityId>() + size_of::<u64>();
+        }
+        bytes
+    }
+
     /// Looks up an id by name.
     pub fn get(&self, name: &str) -> Option<ActivityId> {
         self.by_name.get(name).copied()

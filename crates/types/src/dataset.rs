@@ -3,7 +3,7 @@
 use crate::activity::{ActivityId, ActivitySet, Vocabulary};
 use crate::error::{Error, Result};
 use crate::geo::Rect;
-use crate::trajectory::{Trajectory, TrajectoryId};
+use crate::trajectory::{Trajectory, TrajectoryId, TrajectoryPoint};
 use std::fmt;
 
 /// An immutable activity-trajectory database, the `D` of the paper.
@@ -118,6 +118,23 @@ impl Dataset {
             vocabulary: self.vocabulary.clone(),
             bounds: self.bounds,
         }
+    }
+
+    /// Rough resident heap size of the dataset in bytes: trajectory
+    /// and point storage, activity-set ids, and the interned
+    /// vocabulary. This is the dataset half of the tenancy layer's
+    /// memory-budget accounting — an estimate (no allocator overhead),
+    /// not a measurement.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Dataset>();
+        for tr in &self.trajectories {
+            bytes += size_of::<Trajectory>() + tr.points.len() * size_of::<TrajectoryPoint>();
+            for p in &tr.points {
+                bytes += p.activities.len() * size_of::<ActivityId>();
+            }
+        }
+        bytes + self.vocabulary.approx_bytes()
     }
 
     /// A deterministic 64-bit fingerprint of the dataset's full

@@ -85,7 +85,7 @@ fn service_answers_match_direct_engine_under_load() {
     let handle = service.handle();
     let expected: Vec<Vec<QueryResult>> = queries
         .iter()
-        .map(|q| handle.engine().atsq(handle.dataset(), q, 7))
+        .map(|q| handle.engine().atsq(&handle.dataset(), q, 7))
         .collect();
     std::thread::scope(|scope| {
         for t in 0..8 {
