@@ -1,4 +1,4 @@
-//! Shard scaling: top-k latency vs. shard count.
+//! Shard scaling: top-k latency and per-shard work vs. shard count.
 //!
 //! A self-driving harness (`harness = false`, no criterion): builds
 //! the fig7-scale NY-like city, then measures ATSQ / OATSQ top-k
@@ -8,18 +8,24 @@
 //! table and emits `BENCH_shard_scaling.json` (path overridable via
 //! `BENCH_OUT`) for the benchmark trajectory.
 //!
-//! Two latencies are reported per configuration:
+//! Reported per configuration:
 //!
-//! * `*_ms` — measured wall-clock on this host. The engine runs
-//!   shards on `min(S, available_parallelism)` threads, so this is
-//!   what the current hardware delivers.
-//! * `*_critical_ms` — the per-query critical path: the busiest
-//!   shard's search time (from [`ShardedEngine::per_shard_busy_ns`]).
-//!   This is the latency a host with at least one core per shard
-//!   observes; on a single-core host wall-clock instead approaches
-//!   the *sum* of shard times and multi-shard configurations cannot
-//!   beat one shard no matter the algorithm. The JSON records
-//!   `parallelism` so a curve can always be interpreted.
+//! * `*_ms` — measured wall-clock on this host. With the single-pass
+//!   shared traversal, sharded *total* work is ~1× the single index
+//!   (one grid/HICL pass + routing) instead of the legacy ~S×, so
+//!   wall-clock no longer multiplies with S even on few cores.
+//! * `*_wall_ratio` — wall-clock relative to S=1 under the same
+//!   partitioner. The run **asserts** this stays well under S for
+//!   every S>1 sweep point; before the shared traversal the ratio
+//!   trended toward ~S on a saturated host.
+//! * `*_critical_ms` — the per-query critical path: shared (router)
+//!   traversal time plus the busiest shard's verification time. This
+//!   is the latency a host with one core per shard observes. The
+//!   JSON records `parallelism` so a curve can always be interpreted.
+//! * `candidates_per_shard` — candidates each shard verified during
+//!   the timed ATSQ pass. With shared traversal these **sum** to the
+//!   single traversal's candidate count (ownership attribution)
+//!   rather than duplicating it per shard.
 //!
 //! Environment knobs: `SHARD_SCALING_SCALE` (dataset scale, default
 //! 0.006 — the Fig. 7 full-size city), `SHARD_SCALING_QUERIES`
@@ -36,9 +42,13 @@ struct Sweep {
     partition: Partition,
     shards: usize,
     atsq_ms: f64,
+    atsq_wall_ratio: f64,
     atsq_critical_ms: f64,
     oatsq_ms: f64,
+    oatsq_wall_ratio: f64,
     oatsq_critical_ms: f64,
+    router_ms: f64,
+    candidates_per_shard: Vec<u64>,
 }
 
 fn main() {
@@ -65,44 +75,83 @@ fn main() {
         setting.k,
         parallelism
     );
-    if parallelism == 1 {
-        println!(
-            "note: single-core host — wall-clock sums the shards; \
-             the *_critical_ms columns carry the scaling curve"
-        );
-    }
     println!(
-        "{:>10}{:>8}{:>12}{:>14}{:>12}{:>14}",
-        "partition", "shards", "ATSQ ms", "crit ms", "OATSQ ms", "crit ms"
+        "{:>10}{:>8}{:>12}{:>9}{:>12}{:>12}{:>9}{:>12}{:>11}",
+        "partition",
+        "shards",
+        "ATSQ ms",
+        "ratio",
+        "crit ms",
+        "OATSQ ms",
+        "ratio",
+        "crit ms",
+        "router ms"
     );
 
     let mut sweeps = Vec::new();
     for partition in [Partition::Hash, Partition::Spatial] {
+        let mut base_atsq_ms = f64::NAN;
+        let mut base_oatsq_ms = f64::NAN;
         for &shards in &shard_counts {
             let engine = ShardedEngine::build(&dataset, shards, partition).expect("sharded engine");
             verify(&engine, &single, &dataset, &queries, setting.k);
-            let (atsq_ms, atsq_critical_ms) = time_ms(&engine, &queries, |q| {
+            let atsq = time_ms(&engine, &queries, |q| {
                 std::hint::black_box(engine.atsq(q, setting.k));
             });
-            let (oatsq_ms, oatsq_critical_ms) = time_ms(&engine, &queries, |q| {
+            let candidates_per_shard: Vec<u64> = engine
+                .per_shard_stats()
+                .iter()
+                .map(|s| s.candidates_retrieved)
+                .collect();
+            let oatsq = time_ms(&engine, &queries, |q| {
                 std::hint::black_box(engine.oatsq(q, setting.k));
             });
+            if shards == 1 {
+                base_atsq_ms = atsq.wall_ms;
+                base_oatsq_ms = oatsq.wall_ms;
+            }
+            let atsq_wall_ratio = atsq.wall_ms / base_atsq_ms;
+            let oatsq_wall_ratio = oatsq.wall_ms / base_oatsq_ms;
             println!(
-                "{:>10}{:>8}{:>12.3}{:>14.3}{:>12.3}{:>14.3}",
+                "{:>10}{:>8}{:>12.3}{:>9.2}{:>12.3}{:>12.3}{:>9.2}{:>12.3}{:>11.3}",
                 partition.to_string(),
                 shards,
-                atsq_ms,
-                atsq_critical_ms,
-                oatsq_ms,
-                oatsq_critical_ms
+                atsq.wall_ms,
+                atsq_wall_ratio,
+                atsq.critical_ms,
+                oatsq.wall_ms,
+                oatsq_wall_ratio,
+                oatsq.critical_ms,
+                atsq.router_ms + oatsq.router_ms
             );
+            // The point of the shared traversal: total sharded work is
+            // ~1× a single index plus routing, so wall-clock must not
+            // drift toward the legacy ~S× even on a saturated host.
+            // (The bound is deliberately loose — CI boxes are noisy —
+            // but it would have failed the per-shard-traversal design
+            // at every S.)
+            if shards > 1 && !base_atsq_ms.is_nan() {
+                let limit = 0.75 * shards as f64;
+                assert!(
+                    atsq_wall_ratio < limit,
+                    "ATSQ wall-clock ratio {atsq_wall_ratio:.2} at S={shards} reached {limit:.2}"
+                );
+                assert!(
+                    oatsq_wall_ratio < limit,
+                    "OATSQ wall-clock ratio {oatsq_wall_ratio:.2} at S={shards} reached {limit:.2}"
+                );
+            }
             sweeps.push(Sweep {
                 partition,
                 shards,
-                atsq_ms,
-                atsq_critical_ms,
-                oatsq_ms,
-                oatsq_critical_ms,
+                atsq_ms: atsq.wall_ms,
+                atsq_wall_ratio,
+                atsq_critical_ms: atsq.critical_ms,
+                oatsq_ms: oatsq.wall_ms,
+                oatsq_wall_ratio,
+                oatsq_critical_ms: oatsq.critical_ms,
+                router_ms: atsq.router_ms + oatsq.router_ms,
+                candidates_per_shard,
             });
         }
     }
@@ -120,16 +169,22 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+struct Timing {
+    wall_ms: f64,
+    critical_ms: f64,
+    router_ms: f64,
+}
+
 /// Average wall-clock and critical-path per query in ms, after one
-/// warm-up pass. The critical path of one query is its busiest
-/// shard's search time; per-shard busy time is accumulated across the
-/// run, so the busiest shard's total divided by the query count is
-/// the average critical path when the same shard is busiest on every
-/// query (typical for this sweep's balanced partitions). When the
-/// busiest shard varies per query, max-of-totals understates
-/// avg-of-maxes, so read the column as an optimistic (lower) bound on
-/// ≥S-core latency.
-fn time_ms(engine: &ShardedEngine, queries: &[Query], mut run: impl FnMut(&Query)) -> (f64, f64) {
+/// warm-up pass. The critical path of one query is the shared
+/// (router) traversal plus its busiest shard's verification time;
+/// per-shard and router busy times are accumulated across the run, so
+/// `router + max(shard)` divided by the query count is the average
+/// critical path when the same shard is busiest on every query
+/// (typical for this sweep's balanced partitions). When the busiest
+/// shard varies per query, max-of-totals understates avg-of-maxes, so
+/// read the column as an optimistic (lower) bound on ≥S-core latency.
+fn time_ms(engine: &ShardedEngine, queries: &[Query], mut run: impl FnMut(&Query)) -> Timing {
     for q in queries {
         run(q);
     }
@@ -140,8 +195,13 @@ fn time_ms(engine: &ShardedEngine, queries: &[Query], mut run: impl FnMut(&Query
     }
     let n = queries.len().max(1) as f64;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3 / n;
-    let critical_ms = engine.per_shard_busy_ns().into_iter().max().unwrap_or(0) as f64 / 1e6 / n;
-    (wall_ms, critical_ms)
+    let router_ms = engine.router_busy_ns() as f64 / 1e6 / n;
+    let busiest_ms = engine.per_shard_busy_ns().into_iter().max().unwrap_or(0) as f64 / 1e6 / n;
+    Timing {
+        wall_ms,
+        critical_ms: router_ms + busiest_ms,
+        router_ms,
+    }
 }
 
 /// Exactness gate: a bench point for a configuration that answers
@@ -179,17 +239,26 @@ fn to_json(
     let rows: Vec<String> = sweeps
         .iter()
         .map(|s| {
+            let per_shard: Vec<String> =
+                s.candidates_per_shard.iter().map(u64::to_string).collect();
             format!(
                 concat!(
                     r#"{{"partition":"{}","shards":{},"atsq_ms":{:.4},"#,
-                    r#""atsq_critical_ms":{:.4},"oatsq_ms":{:.4},"oatsq_critical_ms":{:.4}}}"#
+                    r#""atsq_wall_ratio":{:.4},"atsq_critical_ms":{:.4},"#,
+                    r#""oatsq_ms":{:.4},"oatsq_wall_ratio":{:.4},"#,
+                    r#""oatsq_critical_ms":{:.4},"router_ms":{:.4},"#,
+                    r#""candidates_per_shard":[{}]}}"#
                 ),
                 s.partition,
                 s.shards,
                 s.atsq_ms,
+                s.atsq_wall_ratio,
                 s.atsq_critical_ms,
                 s.oatsq_ms,
-                s.oatsq_critical_ms
+                s.oatsq_wall_ratio,
+                s.oatsq_critical_ms,
+                s.router_ms,
+                per_shard.join(",")
             )
         })
         .collect();

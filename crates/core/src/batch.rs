@@ -185,6 +185,45 @@ mod tests {
         assert!(with_work > 1, "work attributed to {with_work} sink(s)");
     }
 
+    /// Per-query attribution survives the sharded engine's shared
+    /// traversal: each query's counter delta (router traversal work
+    /// plus owner-shard verification, wherever the threads ran) lands
+    /// in its own sink, and the deltas sum to the engine totals —
+    /// which for the sharded engine include the router's counters.
+    #[test]
+    fn sharded_per_query_sinks_attribute_exactly() {
+        use crate::{Partition, Profiled, ShardedEngine};
+        let dataset = generate(&CityConfig::tiny(9)).unwrap();
+        let engine = ShardedEngine::build(&dataset, 4, Partition::Hash).unwrap();
+        assert!(engine.shared_traversal());
+        let queries = generate_queries(&dataset, &QueryGenConfig::default(), 10);
+        engine.reset_counters();
+        let sinks: Vec<_> = queries.iter().map(|_| CounterSink::new()).collect();
+        let out = run_batch_with_sinks(
+            &engine,
+            &dataset,
+            &queries,
+            5,
+            QueryKind::Atsq,
+            4,
+            Some(&sinks),
+        );
+        assert_eq!(out.len(), queries.len());
+        let summed = sinks
+            .iter()
+            .fold(atsq_obs::QueryCounters::default(), |acc, s| {
+                acc.add(&s.counters())
+            });
+        let total = engine.counters();
+        assert_eq!(summed.candidates, total.candidates);
+        assert_eq!(summed.distance_evals, total.distance_evals);
+        assert_eq!(summed.apl_reads, total.apl_reads);
+        assert_eq!(summed.cold_reads, total.cold_reads);
+        assert!(summed.candidates > 0, "batch must have done engine work");
+        let with_work = sinks.iter().filter(|s| !s.counters().is_zero()).count();
+        assert!(with_work > 1, "work attributed to {with_work} sink(s)");
+    }
+
     /// The batch executor is engine-generic: running a batch through
     /// the sharded engine (itself parallel per query) equals the
     /// single-index engine, for both query kinds.

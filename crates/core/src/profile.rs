@@ -109,7 +109,16 @@ impl EngineCounters {
 
 impl Profiled for ShardedEngine {
     fn counters(&self) -> EngineCounters {
-        EngineCounters::sum(self.per_shard_stats().into_iter().map(counters_from_io))
+        // Shard counters plus the shared-traversal router's: candidates
+        // are charged to their owner shard at routing time, but cold
+        // HICL reads during the single shared traversal land on the
+        // router and must not vanish from engine totals.
+        EngineCounters::sum(
+            self.per_shard_stats()
+                .into_iter()
+                .chain(std::iter::once(self.router_stats()))
+                .map(counters_from_io),
+        )
     }
     fn reset_counters(&self) {
         self.reset_stats();
@@ -183,6 +192,27 @@ impl Engine {
         match self {
             Engine::Sharded(e) => e.per_shard_busy_ns(),
             _ => Vec::new(),
+        }
+    }
+
+    /// Counters of the sharded engine's shared-traversal router (cold
+    /// HICL reads spent generating candidates); `None` for unsharded
+    /// engines. The router never records candidates — each candidate
+    /// is charged to its owner shard at routing time — so folding this
+    /// into an aggregate never perturbs per-shard candidate sums.
+    pub fn router_counters(&self) -> Option<EngineCounters> {
+        match self {
+            Engine::Sharded(e) => Some(counters_from_io(e.router_stats())),
+            _ => None,
+        }
+    }
+
+    /// Accumulated shared-traversal router busy time in nanoseconds;
+    /// `None` for unsharded engines.
+    pub fn router_busy_ns(&self) -> Option<u64> {
+        match self {
+            Engine::Sharded(e) => Some(e.router_busy_ns()),
+            _ => None,
         }
     }
 }

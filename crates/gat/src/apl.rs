@@ -42,13 +42,21 @@ impl TrajectoryPostings {
     /// Deduplicated union of the postings of all activities in
     /// `wanted` — the candidate point set `CP` of Algorithm 3, line 1.
     pub fn candidate_indexes(&self, wanted: &ActivitySet) -> Vec<u32> {
-        let mut out: Vec<u32> = wanted
-            .iter()
-            .flat_map(|a| self.postings(a).iter().copied())
-            .collect();
+        let mut out = Vec::new();
+        self.candidate_indexes_into(wanted, &mut out);
+        out
+    }
+
+    /// [`TrajectoryPostings::candidate_indexes`] into a caller-owned
+    /// buffer — the hot search loop reuses one buffer per query
+    /// instead of allocating per candidate evaluation.
+    pub fn candidate_indexes_into(&self, wanted: &ActivitySet, out: &mut Vec<u32>) {
+        out.clear();
+        for a in wanted.iter() {
+            out.extend_from_slice(self.postings(a));
+        }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Number of posting entries (memory accounting).

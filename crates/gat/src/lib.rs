@@ -35,7 +35,9 @@ pub mod config;
 pub mod hicl;
 pub mod index;
 pub mod itl;
+pub mod kernel;
 pub mod paged;
+mod router;
 pub mod search;
 pub mod sharded;
 pub mod snapshot;
@@ -44,6 +46,7 @@ pub mod tas;
 
 pub use config::GatConfig;
 pub use index::{GatIndex, MemoryReport};
+pub use kernel::{score_scalar, ScoreScratch};
 pub use paged::{AplStorage, PagedApl, PagedAplConfig, PagedBacking};
 pub use search::{
     atsq, atsq_range, oatsq, oatsq_range, try_atsq, try_atsq_range, try_atsq_range_with_bound,

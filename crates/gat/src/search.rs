@@ -3,14 +3,59 @@
 //! Algorithm-2 lower bound for unseen trajectories, and the ATSQ /
 //! OATSQ entry points.
 
+use crate::config::GatConfig;
 use crate::index::GatIndex;
-use atsq_grid::CellId;
+use crate::kernel::ScoreScratch;
+use atsq_grid::{CellId, Grid};
 use atsq_matching::order_match::{min_order_match_distance, order_feasible};
 use atsq_matching::point_match::{dmpm_from_sorted, CandidatePoint, QueryMask};
-use atsq_types::{rank_top_k, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId};
+use atsq_types::{
+    rank_top_k, ActivityId, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId,
+};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// What the §V-A candidate retrieval needs from an index: the grid
+/// geometry, the HICL descent and the leaf-cell ITL harvest — but
+/// *not* the per-trajectory verification structures (TAS/APL).
+///
+/// Implemented by the full [`GatIndex`] (the single-index search) and
+/// by the sharded engine's lightweight router index
+/// ([`crate::router::RouterIndex`]), which owns only these components
+/// and lets one traversal feed every shard's verification.
+pub(crate) trait CandidateSource {
+    /// The configuration governing grid depth and retrieval knobs.
+    fn config(&self) -> &GatConfig;
+    /// The hierarchical grid.
+    fn grid(&self) -> &Grid;
+    /// Trajectories performing `act` inside leaf cell `cell`.
+    fn itl_trajectories(&self, cell: CellId, act: ActivityId) -> &[TrajectoryId];
+    /// Activities present in `cell`, with cold-read accounting.
+    fn cell_activities(&self, cell: CellId) -> Result<Option<Cow<'_, ActivitySet>>>;
+    /// Children of `cell` containing any wanted activity, with
+    /// cold-read accounting.
+    fn children_with_any(&self, cell: CellId, wanted: &ActivitySet) -> Result<Vec<CellId>>;
+}
+
+impl CandidateSource for GatIndex {
+    fn config(&self) -> &GatConfig {
+        GatIndex::config(self)
+    }
+    fn grid(&self) -> &Grid {
+        GatIndex::grid(self)
+    }
+    fn itl_trajectories(&self, cell: CellId, act: ActivityId) -> &[TrajectoryId] {
+        self.itl().trajectories(cell, act)
+    }
+    fn cell_activities(&self, cell: CellId) -> Result<Option<Cow<'_, ActivitySet>>> {
+        GatIndex::cell_activities(self, cell)
+    }
+    fn children_with_any(&self, cell: CellId, wanted: &ActivitySet) -> Result<Vec<CellId>> {
+        GatIndex::children_with_any(self, cell, wanted)
+    }
+}
 
 /// A shared, monotonically tightening upper bound on the distance any
 /// result still has to beat — the cross-shard generalisation of the
@@ -106,9 +151,10 @@ impl Ord for PqEntry {
     }
 }
 
-/// Best-first candidate retrieval with the Algorithm-2 lower bound.
-struct Retrieval<'a> {
-    index: &'a GatIndex,
+/// Best-first candidate retrieval with the Algorithm-2 lower bound,
+/// generic over the [`CandidateSource`] the traversal runs against.
+pub(crate) struct Retrieval<'a, S: CandidateSource> {
+    source: &'a S,
     query: &'a Query,
     pq: BinaryHeap<PqEntry>,
     /// Per query point: ALL unvisited frontier cells (pushed but not
@@ -121,8 +167,10 @@ struct Retrieval<'a> {
     seen: Vec<bool>,
 }
 
-impl<'a> Retrieval<'a> {
-    fn new(index: &'a GatIndex, dataset: &'a Dataset, query: &'a Query) -> Result<Self> {
+impl<'a, S: CandidateSource> Retrieval<'a, S> {
+    /// Seeds the traversal. `n_trajectories` sizes the dedup bitmap —
+    /// the trajectory-id space the source's ITL draws from.
+    pub(crate) fn new(source: &'a S, n_trajectories: usize, query: &'a Query) -> Result<Self> {
         let m = query.points.len();
         let mut pq = BinaryHeap::new();
         let mut frontier = vec![Vec::new(); m];
@@ -130,10 +178,10 @@ impl<'a> Retrieval<'a> {
         // Seed: all level-1 cells containing any activity of qi.Φ.
         for (q_idx, q) in query.points.iter().enumerate() {
             let root = CellId::ROOT;
-            let mut seeds = index.children_with_any(root, &q.activities)?;
+            let mut seeds = source.children_with_any(root, &q.activities)?;
             seeds.sort_unstable();
             for cell in seeds {
-                let mdist = index.grid().min_dist(cell, &q.loc);
+                let mdist = source.grid().min_dist(cell, &q.loc);
                 pq.push(PqEntry {
                     mdist: OrdF64(mdist),
                     cell,
@@ -144,27 +192,29 @@ impl<'a> Retrieval<'a> {
         }
 
         Ok(Retrieval {
-            index,
+            source,
             query,
             pq,
             frontier,
-            seen: vec![false; dataset.len()],
+            seen: vec![false; n_trajectories],
         })
     }
 
     /// Dequeues cells until at least `lambda` fresh candidates are
-    /// collected (or the queue empties). Returns the new candidates.
-    fn retrieve_batch(&mut self, lambda: usize) -> Result<Vec<TrajectoryId>> {
+    /// collected (or the queue empties). Returns the new candidates;
+    /// the *caller* charges `record_candidate` per returned id, on
+    /// whichever index owns the candidate's verification.
+    pub(crate) fn retrieve_batch(&mut self, lambda: usize) -> Result<Vec<TrajectoryId>> {
         let mut out = Vec::new();
-        let leaf_level = self.index.config().grid_level;
+        let leaf_level = self.source.config().grid_level;
         while out.len() < lambda {
             let Some(entry) = self.pq.pop() else { break };
             let q = &self.query.points[entry.q_idx];
             remove_frontier(&mut self.frontier[entry.q_idx], entry.mdist.0, entry.cell);
             if entry.cell.level < leaf_level {
                 // Descend: children containing any query activity.
-                for child in self.index.children_with_any(entry.cell, &q.activities)? {
-                    let mdist = self.index.grid().min_dist(child, &q.loc);
+                for child in self.source.children_with_any(entry.cell, &q.activities)? {
+                    let mdist = self.source.grid().min_dist(child, &q.loc);
                     self.pq.push(PqEntry {
                         mdist: OrdF64(mdist),
                         cell: child,
@@ -175,10 +225,9 @@ impl<'a> Retrieval<'a> {
             } else {
                 // Leaf: harvest the ITL under each query activity.
                 for a in q.activities.iter() {
-                    for &tr in self.index.itl().trajectories(entry.cell, a) {
+                    for &tr in self.source.itl_trajectories(entry.cell, a) {
                         if !self.seen[tr.index()] {
                             self.seen[tr.index()] = true;
-                            self.index.stats().record_candidate();
                             out.push(tr);
                         }
                     }
@@ -188,7 +237,7 @@ impl<'a> Retrieval<'a> {
         Ok(out)
     }
 
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.pq.is_empty()
     }
 
@@ -207,11 +256,11 @@ impl<'a> Retrieval<'a> {
     /// virtual trajectory lower-bounds the true `Dmpm` of anything not
     /// yet retrieved, capped by the distance of the last tracked cell
     /// when the frontier list was truncated.
-    fn lower_bound(&self) -> Result<f64> {
-        if !self.index.config().tight_lower_bound {
+    pub(crate) fn lower_bound(&self) -> Result<f64> {
+        if !self.source.config().tight_lower_bound {
             return Ok(self.loose_lower_bound());
         }
-        let m = self.index.config().lb_cells;
+        let m = self.source.config().lb_cells;
         let mut total = 0.0f64;
         for (q_idx, q) in self.query.points.iter().enumerate() {
             let cells = &self.frontier[q_idx];
@@ -227,7 +276,7 @@ impl<'a> Retrieval<'a> {
             let qmask = QueryMask::new(&q.activities);
             let mut virtual_points = Vec::with_capacity(head.len());
             for &(mdist, cell) in head {
-                if let Some(acts) = self.index.cell_activities(cell)? {
+                if let Some(acts) = self.source.cell_activities(cell)? {
                     let mask = qmask.cover_mask(&acts);
                     if mask != 0 {
                         virtual_points.push(CandidatePoint { dist: mdist, mask });
@@ -279,20 +328,26 @@ fn remove_frontier(list: &mut Vec<(f64, CellId)>, mdist: f64, cell: CellId) {
 }
 
 /// Bounded max-heap tracking the current k-th best distance.
-struct TopK {
+///
+/// The heap's content is a pure function of the *set* of offered
+/// `(dist, id)` pairs — the k smallest under the `(dist, id)` order —
+/// so any evaluation order, and any extra offers of pairs worse than
+/// the final k-th, produce the same results. The sharded engine's
+/// shared-traversal path leans on exactly this property.
+pub(crate) struct TopK {
     k: usize,
     heap: BinaryHeap<(OrdF64, TrajectoryId)>,
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopK {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
         }
     }
 
-    fn offer(&mut self, dist: f64, tr: TrajectoryId) {
+    pub(crate) fn offer(&mut self, dist: f64, tr: TrajectoryId) {
         self.heap.push((OrdF64(dist), tr));
         if self.heap.len() > self.k {
             self.heap.pop();
@@ -300,7 +355,7 @@ impl TopK {
     }
 
     /// Current k-th smallest distance (`∞` until k results exist).
-    fn kth(&self) -> f64 {
+    pub(crate) fn kth(&self) -> f64 {
         if self.heap.len() == self.k {
             self.heap.peek().map_or(f64::INFINITY, |&(d, _)| d.0)
         } else {
@@ -308,7 +363,7 @@ impl TopK {
         }
     }
 
-    fn into_results(self) -> Vec<QueryResult> {
+    pub(crate) fn into_results(self) -> Vec<QueryResult> {
         self.heap
             .into_iter()
             .map(|(d, tr)| QueryResult::new(tr, d.0))
@@ -319,12 +374,17 @@ impl TopK {
 /// Validates a candidate and computes `Dmm` through the index's TAS and
 /// APL (the §V-C / §V-D pipeline). Returns `Ok(None)` for invalid
 /// candidates; `Err` only on a paged-APL storage failure.
-fn evaluate_atsq(
+///
+/// Candidate-point scoring runs through the SoA batch kernel in
+/// `scratch` — bit-identical to the scalar reference (see
+/// [`crate::kernel`]) but allocation-free and autovectorizable.
+pub(crate) fn evaluate_atsq(
     index: &GatIndex,
     dataset: &Dataset,
     query: &Query,
     all_acts: &ActivitySet,
     tr: TrajectoryId,
+    scratch: &mut ScoreScratch,
 ) -> Result<Option<f64>> {
     if index.config().use_tas {
         index.stats().record_tas_check();
@@ -344,19 +404,9 @@ fn evaluate_atsq(
     let mut total = 0.0;
     for q in &query.points {
         let qmask = QueryMask::new(&q.activities);
-        let mut cp: Vec<CandidatePoint> = postings
-            .candidate_indexes(&q.activities)
-            .into_iter()
-            .map(|idx| {
-                let p = &points[idx as usize];
-                CandidatePoint {
-                    dist: q.loc.dist(&p.loc),
-                    mask: qmask.cover_mask(&p.activities),
-                }
-            })
-            .collect();
-        cp.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(Ordering::Equal));
-        match dmpm_from_sorted(&qmask, &cp) {
+        postings.candidate_indexes_into(&q.activities, &mut scratch.indexes);
+        let cp = scratch.score(&q.loc, &qmask, points);
+        match dmpm_from_sorted(&qmask, cp) {
             Some(d) => total += d,
             None => return Ok(None),
         }
@@ -366,7 +416,7 @@ fn evaluate_atsq(
 
 /// Validates a candidate for OATSQ (TAS → APL → MIB) and computes
 /// `Dmom` with the `Dkmom` early exit.
-fn evaluate_oatsq(
+pub(crate) fn evaluate_oatsq(
     index: &GatIndex,
     dataset: &Dataset,
     query: &Query,
@@ -415,7 +465,7 @@ fn search_loop(
     if k == 0 || dataset.is_empty() {
         return Ok(Vec::new());
     }
-    let mut retrieval = Retrieval::new(index, dataset, query)?;
+    let mut retrieval = Retrieval::new(index, dataset.len(), query)?;
     let mut top = TopK::new(k);
     let lambda = index.config().lambda;
     let effective = |local: f64| bound.map_or(local, |b| local.min(b.get()));
@@ -434,6 +484,7 @@ fn search_loop(
     loop {
         let batch = retrieval.retrieve_batch(lambda)?;
         for tr in batch {
+            index.stats().record_candidate();
             if let Some(dist) = evaluate(tr, effective(top.kth()))? {
                 top.offer(dist, tr);
                 if let Some(b) = bound {
@@ -474,12 +525,13 @@ fn range_loop(
     if dataset.is_empty() || tau < 0.0 {
         return Ok(out);
     }
-    let mut retrieval = Retrieval::new(index, dataset, query)?;
+    let mut retrieval = Retrieval::new(index, dataset.len(), query)?;
     let lambda = index.config().lambda;
     let cutoff = || bound.map_or(tau, |b| tau.min(b.get()));
     loop {
         let batch = retrieval.retrieve_batch(lambda)?;
         for tr in batch {
+            index.stats().record_candidate();
             if let Some(dist) = evaluate(tr, cutoff())? {
                 if dist <= tau {
                     out.push(QueryResult::new(tr, dist));
@@ -522,8 +574,9 @@ pub fn try_atsq_range_with_bound(
     bound: Option<&SharedKthBound>,
 ) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
+    let mut scratch = ScoreScratch::new();
     range_loop(index, dataset, query, tau, bound, |tr, _| {
-        evaluate_atsq(index, dataset, query, &all_acts, tr)
+        evaluate_atsq(index, dataset, query, &all_acts, tr, &mut scratch)
     })
 }
 
@@ -606,8 +659,9 @@ pub fn try_atsq_with_bound(
     bound: Option<&SharedKthBound>,
 ) -> Result<Vec<QueryResult>> {
     let all_acts = query.all_activities();
+    let mut scratch = ScoreScratch::new();
     search_loop(index, dataset, query, k, bound, |tr, _dk| {
-        evaluate_atsq(index, dataset, query, &all_acts, tr)
+        evaluate_atsq(index, dataset, query, &all_acts, tr, &mut scratch)
     })
 }
 

@@ -26,13 +26,18 @@
 
 use crate::config::GatConfig;
 use crate::index::GatIndex;
+use crate::kernel::ScoreScratch;
+use crate::router::RouterIndex;
 use crate::search::{
-    try_atsq_range, try_atsq_with_bound, try_oatsq_range, try_oatsq_with_bound, SharedKthBound,
+    evaluate_atsq, evaluate_oatsq, try_atsq_range, try_atsq_with_bound, try_oatsq_range,
+    try_oatsq_with_bound, Retrieval, SharedKthBound, TopK,
 };
 use crate::stats::IoSnapshot;
 use atsq_grid::morton_encode;
-use atsq_types::{rank_top_k, Point};
+use atsq_types::{rank_top_k, ActivitySet, Point};
 use atsq_types::{Dataset, Error, Query, QueryResult, Result, TrajectoryId};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 /// How trajectories are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +103,38 @@ pub struct ShardedEngine {
     shards: Vec<Shard>,
     partition: Partition,
     total: usize,
+    /// The engine's *base* configuration: the router traverses with
+    /// it, snapshot filenames and manifests are keyed by it, and each
+    /// shard derives its tuned configuration from it (see
+    /// [`shard_config`]).
+    config: GatConfig,
+    /// Traversal-only index over the full dataset — the single-pass
+    /// candidate source of the shared-traversal query path.
+    router: RouterIndex,
+    /// Global trajectory id → `(shard, local id)`; the deterministic
+    /// routing table derived from the partitioner's membership lists.
+    owner: Vec<(u32, u32)>,
+    /// Whether queries run the single-pass shared traversal (default)
+    /// or PR 2's per-shard retrieval cascade (kept for comparison
+    /// benches and differential tests).
+    shared_traversal: bool,
+    /// Accumulated coordinator time in the shared traversal itself
+    /// (retrieve + lower bound + routing), in nanoseconds — the
+    /// serial section sharding cannot parallelize.
+    router_busy_ns: AtomicU64,
+}
+
+/// The tuned configuration a shard over `shard_dataset` builds with:
+/// the base config with grid depth matched to the shard's point count
+/// ([`GatConfig::tuned_for_points`]). Deterministic, so the snapshot
+/// loader recomputes it from the recomputed shard subset.
+pub(crate) fn shard_config(base: &GatConfig, shard_dataset: &Dataset) -> GatConfig {
+    let points: usize = shard_dataset
+        .trajectories()
+        .iter()
+        .map(|t| t.points.len())
+        .sum();
+    base.tuned_for_points(points)
 }
 
 impl ShardedEngine {
@@ -106,15 +143,16 @@ impl ShardedEngine {
         Self::build_with(dataset, shards, partition, GatConfig::default())
     }
 
-    /// Builds with an explicit per-shard GAT configuration.
+    /// Builds with an explicit base GAT configuration; each shard's
+    /// index builds with the grid depth tuned to its own volume.
     pub fn build_with(
         dataset: &Dataset,
         shards: usize,
         partition: Partition,
         config: GatConfig,
     ) -> Result<Self> {
-        Self::assemble(dataset, shards, partition, |_, shard_dataset| {
-            GatIndex::build_with(shard_dataset, config)
+        Self::assemble(dataset, shards, partition, config, |_, shard_dataset| {
+            GatIndex::build_with(shard_dataset, shard_config(&config, shard_dataset))
         })
     }
 
@@ -139,12 +177,27 @@ impl ShardedEngine {
         dataset: &Dataset,
         shards: usize,
         partition: Partition,
+        config: GatConfig,
         mut index_for: impl FnMut(usize, &Dataset) -> Result<GatIndex>,
     ) -> Result<Self> {
         if shards == 0 {
             return Err(Error::InvalidConfig("shard count must be ≥ 1".into()));
         }
         let membership = Self::membership(dataset, shards, partition);
+        let mut owner = vec![(0u32, 0u32); dataset.len()];
+        for (s, members) in membership.iter().enumerate() {
+            for (local, g) in members.iter().enumerate() {
+                owner[g.index()] = (s as u32, local as u32);
+            }
+        }
+        // The router is never persisted: it is a deterministic
+        // function of (dataset, base config) and rebuilds in one
+        // occurrence pass on snapshot loads too. Its grid depth is
+        // tuned to the *full* dataset volume by the same rule shards
+        // use — the router traversal is the serialized prefix of
+        // every query's critical path, so an over-deep grid there
+        // costs latency no shard parallelism can recover.
+        let router = RouterIndex::build(dataset, shard_config(&config, dataset))?;
         let shards = membership
             .into_iter()
             .enumerate()
@@ -166,6 +219,13 @@ impl ShardedEngine {
             shards,
             partition,
             total: dataset.len(),
+            config,
+            router,
+            owner,
+            shared_traversal: true,
+            // ordering: Relaxed everywhere this counter is touched —
+            // advisory busy-time tally, no memory published through it.
+            router_busy_ns: AtomicU64::new(0),
         })
     }
 
@@ -180,14 +240,61 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// The base configuration the engine was built with. Shard indexes
+    /// may run shallower tuned grids (see [`GatConfig::
+    /// tuned_for_points`]); snapshots are keyed by this base config.
+    pub fn base_config(&self) -> &GatConfig {
+        &self.config
+    }
+
+    /// Per-shard tuned grid depths, in shard order.
+    pub fn shard_grid_levels(&self) -> Vec<u8> {
+        self.shards
+            .iter()
+            .map(|s| s.index.config().grid_level)
+            .collect()
+    }
+
+    /// Toggles the single-pass shared traversal (on by default). With
+    /// `false`, queries fall back to PR 2's per-shard retrieval
+    /// cascade — ~S× the traversal work, kept for differential tests
+    /// and before/after benches.
+    pub fn with_shared_traversal(mut self, on: bool) -> Self {
+        self.shared_traversal = on;
+        self
+    }
+
+    /// Whether queries use the single-pass shared traversal.
+    pub fn shared_traversal(&self) -> bool {
+        self.shared_traversal
+    }
+
+    /// I/O counters of the shared-traversal router (cold HICL reads of
+    /// the single-pass candidate generation). Engine totals are the
+    /// sum of [`ShardedEngine::per_shard_stats`] and this snapshot.
+    pub fn router_stats(&self) -> IoSnapshot {
+        self.router.stats().snapshot()
+    }
+
+    /// Accumulated nanoseconds the coordinator spent inside the shared
+    /// traversal (retrieve + lower bound + routing) — the serial
+    /// section of a sharded query; per-shard verification time is in
+    /// [`ShardedEngine::per_shard_busy_ns`].
+    pub fn router_busy_ns(&self) -> u64 {
+        // ordering: Relaxed — advisory busy-time tally (see field).
+        self.router_busy_ns.load(AtomicOrdering::Relaxed)
+    }
+
     /// Estimated resident bytes of the engine: each shard's dataset
     /// subset copy plus all of its index components. Feeds the
     /// multi-tenant memory-budget accountant.
     pub fn approx_resident_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.dataset.approx_bytes() + s.index.memory_report().total_bytes())
-            .sum()
+        self.router.memory_bytes()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.dataset.approx_bytes() + s.index.memory_report().total_bytes())
+                .sum::<usize>()
     }
 
     /// Trajectories per shard, in shard order.
@@ -243,10 +350,16 @@ impl ShardedEngine {
             // or tolerate increments from in-flight queries.
             s.busy_ns.store(0, std::sync::atomic::Ordering::Relaxed);
         }
+        self.router.stats().reset();
+        // ordering: Relaxed — advisory stat reset (see above).
+        self.router_busy_ns.store(0, AtomicOrdering::Relaxed);
     }
 
     /// Top-`k` ATSQ across all shards (exact; see module docs).
     pub fn try_atsq(&self, query: &Query, k: usize) -> Result<Vec<QueryResult>> {
+        if self.shared_traversal {
+            return self.shared_top_k(query, k, Verify::Atsq);
+        }
         let bound = SharedKthBound::new();
         self.top_k(query, k, |shard, query| {
             try_atsq_with_bound(&shard.index, &shard.dataset, query, k, Some(&bound))
@@ -255,6 +368,9 @@ impl ShardedEngine {
 
     /// Top-`k` OATSQ across all shards (exact; see module docs).
     pub fn try_oatsq(&self, query: &Query, k: usize) -> Result<Vec<QueryResult>> {
+        if self.shared_traversal {
+            return self.shared_top_k(query, k, Verify::Oatsq);
+        }
         let bound = SharedKthBound::new();
         self.top_k(query, k, |shard, query| {
             try_oatsq_with_bound(&shard.index, &shard.dataset, query, k, Some(&bound))
@@ -263,6 +379,9 @@ impl ShardedEngine {
 
     /// Range ATSQ: every trajectory with `Dmm ≤ tau`, across shards.
     pub fn try_atsq_range(&self, query: &Query, tau: f64) -> Result<Vec<QueryResult>> {
+        if self.shared_traversal {
+            return self.shared_range(query, tau, Verify::Atsq);
+        }
         self.merged(query, usize::MAX, |shard, query| {
             try_atsq_range(&shard.index, &shard.dataset, query, tau)
         })
@@ -270,6 +389,9 @@ impl ShardedEngine {
 
     /// Range OATSQ: every trajectory with `Dmom ≤ tau`, across shards.
     pub fn try_oatsq_range(&self, query: &Query, tau: f64) -> Result<Vec<QueryResult>> {
+        if self.shared_traversal {
+            return self.shared_range(query, tau, Verify::Oatsq);
+        }
         self.merged(query, usize::MAX, |shard, query| {
             try_oatsq_range(&shard.index, &shard.dataset, query, tau)
         })
@@ -401,6 +523,328 @@ impl ShardedEngine {
             }
         }
         Ok(rank_top_k(all, k))
+    }
+
+    // -----------------------------------------------------------------
+    // The single-pass shared-traversal query path
+    // -----------------------------------------------------------------
+
+    /// Verification workers a query may use: one per shard, capped by
+    /// the host's parallelism.
+    fn worker_threads(&self) -> usize {
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(self.shards.len())
+    }
+
+    /// Streams one retrieved batch to owner shards. Each candidate is
+    /// charged to the shard that will verify it — `candidates_
+    /// retrieved` keeps summing to the single traversal's output, now
+    /// attributed by ownership instead of duplicated per shard.
+    fn route(&self, batch: &[TrajectoryId], groups: &mut [Vec<(TrajectoryId, TrajectoryId)>]) {
+        for &g in batch {
+            let (s, local) = self.owner[g.index()];
+            self.shards[s as usize].index.stats().record_candidate();
+            groups[s as usize].push((TrajectoryId(local), g));
+        }
+    }
+
+    /// Top-`k` over ONE router traversal: candidates stream to their
+    /// owning shard for TAS/APL verification against a single global
+    /// top-k heap.
+    ///
+    /// Exactness: the router retrieves the same candidate stream a
+    /// single index would (same grid, HICL, ITL over the same data),
+    /// each candidate's distance is computed from its full trajectory
+    /// by the owner shard (bit-identical to the single-index math),
+    /// and the bounded heap's content is order-independent (see
+    /// [`TopK`]). The `dk` handed to OATSQ's early exit is always ≥
+    /// the final k-th best, so only trajectories strictly outside the
+    /// answer set are ever suppressed — the same argument that makes
+    /// the [`SharedKthBound`] cascade exact, applied batch-locally.
+    fn shared_top_k(&self, query: &Query, k: usize, kind: Verify) -> Result<Vec<QueryResult>> {
+        self.shared_top_k_with_threads(query, k, kind, self.worker_threads())
+    }
+
+    fn shared_top_k_with_threads(
+        &self,
+        query: &Query,
+        k: usize,
+        kind: Verify,
+        threads: usize,
+    ) -> Result<Vec<QueryResult>> {
+        if k == 0 || self.total == 0 {
+            return Ok(Vec::new());
+        }
+        let all_acts = query.all_activities();
+        let lambda = self.config.lambda;
+        let mut router_ns = 0u64;
+        let t0 = Instant::now();
+        let mut retrieval = Retrieval::new(&self.router, self.total, query)?;
+        router_ns += t0.elapsed().as_nanos() as u64;
+        let mut top = TopK::new(k);
+        let mut groups: Vec<Vec<(TrajectoryId, TrajectoryId)>> =
+            self.shards.iter().map(|_| Vec::new()).collect();
+        let mut scratches: Vec<ScoreScratch> =
+            self.shards.iter().map(|_| ScoreScratch::new()).collect();
+
+        loop {
+            let t0 = Instant::now();
+            let batch = retrieval.retrieve_batch(lambda)?;
+            self.route(&batch, &mut groups);
+            router_ns += t0.elapsed().as_nanos() as u64;
+
+            let active = groups.iter().filter(|g| !g.is_empty()).count();
+            if threads > 1 && active > 1 {
+                // Fan out by shard; workers prune against the k-th
+                // best as of the batch start (≥ the final k-th best,
+                // so pruning stays strict — see the method docs).
+                let found = self.verify_groups_parallel(
+                    kind,
+                    query,
+                    &all_acts,
+                    &groups,
+                    &mut scratches,
+                    top.kth(),
+                )?;
+                for (d, g) in found {
+                    top.offer(d, g);
+                }
+            } else {
+                // Sequential: verify in shard order against the live
+                // k-th best, like the single-index inner loop.
+                for (s, group) in groups.iter().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let shard = &self.shards[s];
+                    let t0 = Instant::now();
+                    for &(local, global) in group {
+                        if let Some(d) = verify_one(
+                            kind,
+                            shard,
+                            query,
+                            &all_acts,
+                            local,
+                            top.kth(),
+                            &mut scratches[s],
+                        )? {
+                            top.offer(d, global);
+                        }
+                    }
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    // ordering: Relaxed — advisory busy-time tally.
+                    shard
+                        .busy_ns
+                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    atsq_obs::record_shard_busy(s, ns);
+                }
+            }
+            for g in &mut groups {
+                g.clear();
+            }
+
+            if retrieval.exhausted() {
+                break;
+            }
+            let t0 = Instant::now();
+            let dlb = retrieval.lower_bound()?;
+            router_ns += t0.elapsed().as_nanos() as u64;
+            if top.kth() < dlb {
+                break;
+            }
+        }
+        // ordering: Relaxed — advisory busy-time tally.
+        self.router_busy_ns
+            .fetch_add(router_ns, AtomicOrdering::Relaxed);
+        Ok(rank_top_k(top.into_results(), k))
+    }
+
+    /// Range query over one router traversal (see
+    /// [`ShardedEngine::shared_top_k`]); `tau` replaces the k-th-best
+    /// bound everywhere, exactly as in the single-index range loop.
+    fn shared_range(&self, query: &Query, tau: f64, kind: Verify) -> Result<Vec<QueryResult>> {
+        let mut out = Vec::new();
+        if self.total == 0 || tau < 0.0 {
+            return Ok(out);
+        }
+        let threads = self.worker_threads();
+        let all_acts = query.all_activities();
+        let lambda = self.config.lambda;
+        let mut router_ns = 0u64;
+        let t0 = Instant::now();
+        let mut retrieval = Retrieval::new(&self.router, self.total, query)?;
+        router_ns += t0.elapsed().as_nanos() as u64;
+        let mut groups: Vec<Vec<(TrajectoryId, TrajectoryId)>> =
+            self.shards.iter().map(|_| Vec::new()).collect();
+        let mut scratches: Vec<ScoreScratch> =
+            self.shards.iter().map(|_| ScoreScratch::new()).collect();
+
+        loop {
+            let t0 = Instant::now();
+            let batch = retrieval.retrieve_batch(lambda)?;
+            self.route(&batch, &mut groups);
+            router_ns += t0.elapsed().as_nanos() as u64;
+
+            let active = groups.iter().filter(|g| !g.is_empty()).count();
+            if threads > 1 && active > 1 {
+                let found = self.verify_groups_parallel(
+                    kind,
+                    query,
+                    &all_acts,
+                    &groups,
+                    &mut scratches,
+                    tau,
+                )?;
+                for (d, g) in found {
+                    if d <= tau {
+                        out.push(QueryResult::new(g, d));
+                    }
+                }
+            } else {
+                for (s, group) in groups.iter().enumerate() {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let shard = &self.shards[s];
+                    let t0 = Instant::now();
+                    for &(local, global) in group {
+                        if let Some(d) = verify_one(
+                            kind,
+                            shard,
+                            query,
+                            &all_acts,
+                            local,
+                            tau,
+                            &mut scratches[s],
+                        )? {
+                            if d <= tau {
+                                out.push(QueryResult::new(global, d));
+                            }
+                        }
+                    }
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    // ordering: Relaxed — advisory busy-time tally.
+                    shard
+                        .busy_ns
+                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    atsq_obs::record_shard_busy(s, ns);
+                }
+            }
+            for g in &mut groups {
+                g.clear();
+            }
+
+            if retrieval.exhausted() {
+                break;
+            }
+            let t0 = Instant::now();
+            let dlb = retrieval.lower_bound()?;
+            router_ns += t0.elapsed().as_nanos() as u64;
+            if dlb > tau {
+                break;
+            }
+        }
+        // ordering: Relaxed — advisory busy-time tally.
+        self.router_busy_ns
+            .fetch_add(router_ns, AtomicOrdering::Relaxed);
+        Ok(rank_top_k(out, usize::MAX))
+    }
+
+    /// Verifies all shard groups of one batch on scoped worker
+    /// threads, one per non-empty shard, pruning against `dk`.
+    /// Results come back in shard order; panics propagate.
+    fn verify_groups_parallel(
+        &self,
+        kind: Verify,
+        query: &Query,
+        all_acts: &ActivitySet,
+        groups: &[Vec<(TrajectoryId, TrajectoryId)>],
+        scratches: &mut [ScoreScratch],
+        dk: f64,
+    ) -> Result<Vec<(f64, TrajectoryId)>> {
+        // The coordinating thread's per-query counter context (if any)
+        // must follow the work onto the verification workers, or the
+        // query's I/O counts would vanish into untracked threads.
+        let sink = atsq_obs::current_sink();
+        let mut results: Vec<Result<Vec<(f64, TrajectoryId)>>> = Vec::with_capacity(groups.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(groups.len());
+            for ((s, group), scratch) in groups.iter().enumerate().zip(scratches.iter_mut()) {
+                if group.is_empty() {
+                    continue;
+                }
+                let shard = &self.shards[s];
+                let sink = sink.clone();
+                handles.push(scope.spawn(move || {
+                    let _ctx = sink.map(atsq_obs::CounterScope::enter);
+                    let t0 = Instant::now();
+                    let mut found = Vec::new();
+                    let mut status = Ok(());
+                    for &(local, global) in group {
+                        match verify_one(kind, shard, query, all_acts, local, dk, scratch) {
+                            Ok(Some(d)) => found.push((d, global)),
+                            Ok(None) => {}
+                            Err(e) => {
+                                status = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    // ordering: Relaxed — advisory busy-time tally.
+                    shard
+                        .busy_ns
+                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    atsq_obs::record_shard_busy(s, ns);
+                    status.map(|()| found)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        let mut merged = Vec::new();
+        for r in results {
+            merged.extend(r?);
+        }
+        Ok(merged)
+    }
+}
+
+/// Which verification pipeline the shared traversal drives per
+/// candidate: ATSQ's `Dmm` (Algorithm 3 per query point) or OATSQ's
+/// `Dmom` (MIB filter + Algorithm 4 with the `dk` early exit).
+#[derive(Clone, Copy)]
+enum Verify {
+    Atsq,
+    Oatsq,
+}
+
+/// One candidate's shard-local verification: TAS sketch → APL postings
+/// → distance, on the owner shard's index and sub-dataset.
+fn verify_one(
+    kind: Verify,
+    shard: &Shard,
+    query: &Query,
+    all_acts: &ActivitySet,
+    local: TrajectoryId,
+    dk: f64,
+    scratch: &mut ScoreScratch,
+) -> Result<Option<f64>> {
+    match kind {
+        Verify::Atsq => evaluate_atsq(
+            &shard.index,
+            &shard.dataset,
+            query,
+            all_acts,
+            local,
+            scratch,
+        ),
+        Verify::Oatsq => evaluate_oatsq(&shard.index, &shard.dataset, query, all_acts, local, dk),
     }
 }
 
@@ -617,5 +1061,102 @@ mod tests {
         .unwrap();
         assert!(engine.atsq(&q, 3).is_empty());
         assert!(engine.atsq_range(&q, 10.0).is_empty());
+    }
+
+    /// The scoped-thread verification fan-out must return exactly the
+    /// sequential answer. `worker_threads()` collapses to 1 on a
+    /// single-core host, so force the parallel path explicitly.
+    #[test]
+    fn parallel_verify_path_matches_single_index() {
+        let d = dataset(60);
+        let single = GatIndex::build(&d).unwrap();
+        for partition in [Partition::Hash, Partition::Spatial] {
+            let engine = ShardedEngine::build(&d, 4, partition).unwrap();
+            for q in [query(10.0, 10.0), query(50.0, 80.0)] {
+                for k in [1usize, 3, 9] {
+                    assert_eq!(
+                        engine
+                            .shared_top_k_with_threads(&q, k, Verify::Atsq, 3)
+                            .unwrap(),
+                        crate::search::atsq(&single, &d, &q, k),
+                        "parallel ATSQ diverged ({partition})"
+                    );
+                    assert_eq!(
+                        engine
+                            .shared_top_k_with_threads(&q, k, Verify::Oatsq, 3)
+                            .unwrap(),
+                        crate::search::oatsq(&single, &d, &q, k),
+                        "parallel OATSQ diverged ({partition})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// One shared traversal generates exactly the single-index
+    /// candidate stream, attributed to owner shards: the per-shard
+    /// candidate counts sum to the single index's count instead of
+    /// the legacy ~S× duplication, and traversal work lands on the
+    /// router.
+    #[test]
+    fn shared_traversal_work_sums_to_single_index() {
+        let d = dataset(60);
+        // The comparison index runs at the router's tuned depth so
+        // both sides traverse the same grid geometry and the
+        // candidate streams are comparable one-to-one.
+        let single = GatIndex::build_with(&d, shard_config(&GatConfig::default(), &d)).unwrap();
+        let engine = ShardedEngine::build(&d, 4, Partition::Hash).unwrap();
+        let q = query(20.0, 20.0);
+        single.stats().reset();
+        let want = crate::search::atsq(&single, &d, &q, 5);
+        let single_candidates = single.stats().snapshot().candidates_retrieved;
+
+        engine.reset_stats();
+        assert_eq!(engine.atsq(&q, 5), want);
+        let sharded_candidates: u64 = engine
+            .per_shard_stats()
+            .iter()
+            .map(|s| s.candidates_retrieved)
+            .sum();
+        assert_eq!(
+            sharded_candidates, single_candidates,
+            "shared traversal must not multiply candidate work"
+        );
+        assert_eq!(
+            engine.router_stats().candidates_retrieved,
+            0,
+            "candidates are charged to owner shards, never the router"
+        );
+        assert!(
+            engine.router_busy_ns() > 0,
+            "the shared traversal must accrue router busy time"
+        );
+        engine.reset_stats();
+        assert_eq!(engine.router_busy_ns(), 0);
+        assert_eq!(engine.router_stats().hicl_cold_reads, 0);
+    }
+
+    /// Per-shard grid depth tracks shard volume: shards holding 1/S of
+    /// the data build shallower grids than the base configuration. (The
+    /// router is tuned by the same rule against the full dataset.)
+    #[test]
+    fn shard_grids_are_tuned_to_shard_volume() {
+        let d = dataset(50);
+        let engine = ShardedEngine::build(&d, 4, Partition::Hash).unwrap();
+        let base = engine.base_config().grid_level;
+        assert_eq!(base, GatConfig::default().grid_level);
+        let levels = engine.shard_grid_levels();
+        assert_eq!(levels.len(), 4);
+        assert!(
+            levels.iter().all(|&l| l < base),
+            "small shards must tune below the base depth (got {levels:?})"
+        );
+        // The tuned depth is exactly what `shard_config` derives.
+        for (shard_dataset, index) in engine.shard_parts() {
+            assert_eq!(
+                *index.config(),
+                shard_config(engine.base_config(), shard_dataset)
+            );
+        }
     }
 }

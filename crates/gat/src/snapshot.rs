@@ -48,7 +48,7 @@ use crate::hicl::Hicl;
 use crate::index::GatIndex;
 use crate::itl::Itl;
 use crate::paged::AplStorage;
-use crate::sharded::{Partition, ShardedEngine};
+use crate::sharded::{shard_config, Partition, ShardedEngine};
 use crate::tas::Tas;
 use atsq_grid::Grid;
 use atsq_storage::codec::{get_varint_u64, put_varint_u64};
@@ -406,11 +406,10 @@ pub fn write_manifest(engine: &ShardedEngine, dataset: &Dataset) -> Result<Vec<u
 /// [`write_manifest`] with the dataset hash precomputed (see
 /// [`write_index_with_hash`]).
 fn write_manifest_with_hash(engine: &ShardedEngine, dataset_hash: u64) -> Result<Vec<u8>> {
-    let config = engine
-        .shard_parts()
-        .next()
-        .map(|(_, index)| *index.config())
-        .expect("a sharded engine always has at least one shard");
+    // The manifest records the engine's BASE configuration; per-shard
+    // grid depths are derived from it (see `shard_config`) and so are
+    // recomputable — persisting a tuned config would poison the key.
+    let config = *engine.base_config();
     let mut payload = Vec::new();
     put_varint_u64(&mut payload, engine.shard_count() as u64);
     payload.push(partition_tag(engine.partition()));
@@ -425,7 +424,9 @@ pub struct Manifest {
     pub shards: usize,
     /// Partitioner the shards were cut with.
     pub partition: Partition,
-    /// Per-shard GAT configuration.
+    /// Base GAT configuration (each shard's grid depth is derived
+    /// from it and the shard's point volume; see
+    /// [`crate::sharded::shard_config`]).
     pub config: GatConfig,
 }
 
@@ -658,12 +659,9 @@ impl IndexCache {
 
     fn save_sharded_hashed(&self, hash: u64, engine: &ShardedEngine) -> Result<Vec<PathBuf>> {
         let (shards, partition) = (engine.shard_count(), engine.partition());
-        let config = *engine
-            .shard_parts()
-            .next()
-            .expect("a sharded engine always has at least one shard")
-            .1
-            .config();
+        // Paths are keyed by the base config so a loader holding only
+        // the requested (base) config can find them again.
+        let config = *engine.base_config();
         let mut paths = Vec::with_capacity(shards + 1);
         // Shard files first, manifest last: a crash mid-save leaves no
         // manifest pointing at missing shards.
@@ -692,7 +690,7 @@ impl IndexCache {
     ) -> Result<ShardedEngine> {
         let hash = dataset.content_hash();
         self.validate_manifest(hash, shards, partition, config)?;
-        ShardedEngine::assemble(dataset, shards, partition, |i, shard_dataset| {
+        ShardedEngine::assemble(dataset, shards, partition, *config, |i, shard_dataset| {
             self.load_shard_index(hash, shards, partition, i, shard_dataset, config)
         })
     }
@@ -729,7 +727,11 @@ impl IndexCache {
     ) -> Result<GatIndex> {
         let bytes = read_file(&self.shard_path(hash, shards, partition, config, shard))?;
         let index = read_index(&bytes, shard_dataset)?;
-        check_config(index.config(), config)?;
+        // The snapshot stores the shard's TUNED config; recompute it
+        // from the base config + shard subset and demand equality, so
+        // snapshots written under a different tuning rule rebuild
+        // cleanly instead of loading with the wrong depth.
+        check_config(index.config(), &shard_config(config, shard_dataset))?;
         Ok(index)
     }
 
@@ -760,26 +762,30 @@ impl IndexCache {
             return Ok((engine, CacheOutcome::Rebuilt(note)));
         }
         let mut notes: Vec<String> = Vec::new();
-        let engine = ShardedEngine::assemble(dataset, shards, partition, |i, shard_dataset| {
-            match self.load_shard_index(hash, shards, partition, i, shard_dataset, &config) {
-                Ok(index) => Ok(index),
-                Err(why) => {
-                    let index = GatIndex::build_with(shard_dataset, config)?;
-                    let mut note = format!("shard {i}: {why}");
-                    let saved = write_index(&index, shard_dataset).and_then(|bytes| {
-                        write_file(
-                            &self.shard_path(hash, shards, partition, &config, i),
-                            &bytes,
-                        )
-                    });
-                    if let Err(save) = saved {
-                        note.push_str(&format!("; snapshot not saved: {save}"));
+        let engine =
+            ShardedEngine::assemble(dataset, shards, partition, config, |i, shard_dataset| {
+                match self.load_shard_index(hash, shards, partition, i, shard_dataset, &config) {
+                    Ok(index) => Ok(index),
+                    Err(why) => {
+                        let index = GatIndex::build_with(
+                            shard_dataset,
+                            shard_config(&config, shard_dataset),
+                        )?;
+                        let mut note = format!("shard {i}: {why}");
+                        let saved = write_index(&index, shard_dataset).and_then(|bytes| {
+                            write_file(
+                                &self.shard_path(hash, shards, partition, &config, i),
+                                &bytes,
+                            )
+                        });
+                        if let Err(save) = saved {
+                            note.push_str(&format!("; snapshot not saved: {save}"));
+                        }
+                        notes.push(note);
+                        Ok(index)
                     }
-                    notes.push(note);
-                    Ok(index)
                 }
-            }
-        })?;
+            })?;
         if notes.is_empty() {
             Ok((engine, CacheOutcome::Loaded))
         } else {

@@ -246,27 +246,41 @@ proptest! {
         use atsq_gat::{Partition, ShardedEngine};
         let partition = if spatial { Partition::Spatial } else { Partition::Hash };
         let single = GatIndex::build(&dataset).expect("single index");
+        // Both execution strategies must agree with the single index:
+        // the default single-pass shared traversal (one router pass,
+        // candidates verified by their owner shard) and the legacy
+        // per-shard traversal with the shared k-th-best bound.
         let engine = ShardedEngine::build(&dataset, shards, partition)
             .expect("sharded engine");
-        prop_assert_eq!(
-            engine.atsq(&query, k),
-            atsq_gat::atsq(&single, &dataset, &query, k),
-            "ATSQ diverged (S={}, {})", shards, partition
-        );
-        prop_assert_eq!(
-            engine.oatsq(&query, k),
-            atsq_gat::oatsq(&single, &dataset, &query, k),
-            "OATSQ diverged (S={}, {})", shards, partition
-        );
-        prop_assert_eq!(
-            engine.atsq_range(&query, tau),
-            atsq_gat::atsq_range(&single, &dataset, &query, tau),
-            "range ATSQ diverged (S={}, {})", shards, partition
-        );
-        prop_assert_eq!(
-            engine.oatsq_range(&query, tau),
-            atsq_gat::oatsq_range(&single, &dataset, &query, tau),
-            "range OATSQ diverged (S={}, {})", shards, partition
-        );
+        prop_assert!(engine.shared_traversal(), "shared traversal is the default");
+        let fallback = ShardedEngine::build(&dataset, shards, partition)
+            .expect("sharded engine")
+            .with_shared_traversal(false);
+        let atsq_want = atsq_gat::atsq(&single, &dataset, &query, k);
+        let oatsq_want = atsq_gat::oatsq(&single, &dataset, &query, k);
+        let atsq_range_want = atsq_gat::atsq_range(&single, &dataset, &query, tau);
+        let oatsq_range_want = atsq_gat::oatsq_range(&single, &dataset, &query, tau);
+        for (engine, path) in [(&engine, "shared"), (&fallback, "per-shard")] {
+            prop_assert_eq!(
+                engine.atsq(&query, k),
+                atsq_want.clone(),
+                "ATSQ diverged (S={}, {}, {})", shards, partition, path
+            );
+            prop_assert_eq!(
+                engine.oatsq(&query, k),
+                oatsq_want.clone(),
+                "OATSQ diverged (S={}, {}, {})", shards, partition, path
+            );
+            prop_assert_eq!(
+                engine.atsq_range(&query, tau),
+                atsq_range_want.clone(),
+                "range ATSQ diverged (S={}, {}, {})", shards, partition, path
+            );
+            prop_assert_eq!(
+                engine.oatsq_range(&query, tau),
+                oatsq_range_want.clone(),
+                "range OATSQ diverged (S={}, {}, {})", shards, partition, path
+            );
+        }
     }
 }

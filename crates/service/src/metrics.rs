@@ -18,6 +18,8 @@
 //!   counters (pruning attribution).
 //! * `atsq_shard_candidates_total{shard=…}`,
 //!   `atsq_shard_busy_seconds_total{shard=…}` — per-shard load.
+//! * `atsq_router_busy_seconds_total` — time the sharded engine's
+//!   shared candidate traversal spent routing (absent unsharded).
 //! * `atsq_slowlog_entries` — slow-query log depth.
 //! * `atsq_index_startup_seconds`, `atsq_index_loaded_from_snapshot`
 //!   — cold-start provenance.
@@ -34,6 +36,7 @@ use atsq_tenant::CityInfo;
 pub fn render(
     snap: &StatsSnapshot,
     shard_busy_ns: &[u64],
+    router_busy_ns: Option<u64>,
     slowlog_len: usize,
     startup: StartupInfo,
     cities: &[CityInfo],
@@ -208,6 +211,13 @@ pub fn render(
                 .map(|(i, &ns)| (i.to_string(), ns as f64 / 1e9)),
         );
     }
+    if let Some(ns) = router_busy_ns {
+        p.counter_f64(
+            "atsq_router_busy_seconds_total",
+            "Shared-traversal candidate routing time (sharded engine).",
+            ns as f64 / 1e9,
+        );
+    }
 
     p.gauge(
         "atsq_slowlog_entries",
@@ -312,6 +322,7 @@ mod tests {
         let text = render(
             &snap,
             &[1_500_000_000, 500_000_000],
+            Some(250_000_000),
             3,
             StartupInfo {
                 engine_build: Some(Duration::from_millis(250)),
@@ -327,6 +338,7 @@ mod tests {
         assert!(text.contains("atsq_engine_prune_ratio 0.6\n"));
         assert!(text.contains("atsq_shard_candidates_total{shard=\"0\"} 6\n"));
         assert!(text.contains("atsq_shard_busy_seconds_total{shard=\"0\"} 1.5\n"));
+        assert!(text.contains("atsq_router_busy_seconds_total 0.25\n"));
         assert!(text.contains("atsq_slowlog_entries 3\n"));
         assert!(text.contains("atsq_index_startup_seconds 0.25\n"));
         assert!(text.contains("atsq_index_loaded_from_snapshot 1\n"));
@@ -349,10 +361,11 @@ mod tests {
     fn startup_metrics_absent_without_provenance() {
         let stats = ServiceStats::default();
         let snap = stats.snapshot(0, EngineCounters::default(), vec![0]);
-        let text = render(&snap, &[], 0, StartupInfo::default(), &[]);
+        let text = render(&snap, &[], None, 0, StartupInfo::default(), &[]);
         assert!(!text.contains("atsq_index_startup_seconds"));
         assert!(!text.contains("atsq_index_loaded_from_snapshot"));
         assert!(!text.contains("atsq_shard_busy_seconds_total"));
+        assert!(!text.contains("atsq_router_busy_seconds_total"));
         assert!(!text.contains("atsq_city_state"));
     }
 
@@ -394,7 +407,7 @@ mod tests {
                 last_error: None,
             },
         ];
-        let text = render(&snap, &[], 0, StartupInfo::default(), &cities);
+        let text = render(&snap, &[], None, 0, StartupInfo::default(), &cities);
         assert!(
             text.contains("atsq_city_state{city=\"tokyo\"} 2\n"),
             "{text}"

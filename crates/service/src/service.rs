@@ -452,12 +452,16 @@ impl ServiceHandle {
     /// are on [`ServiceHandle::cities`]. A non-resident default city
     /// reports zeros rather than forcing a load.
     pub fn stats(&self) -> StatsSnapshot {
-        let per_shard = match self.shared.registry.peek_engine(&self.shared.default_city) {
-            Some(engine) => engine.per_shard_counters(),
-            None => Vec::new(),
+        let (per_shard, router) = match self.shared.registry.peek_engine(&self.shared.default_city)
+        {
+            Some(engine) => (engine.per_shard_counters(), engine.router_counters()),
+            None => (Vec::new(), None),
         };
         let shard_candidates = per_shard.iter().map(|c| c.candidates).collect();
-        let engine = atsq_core::EngineCounters::sum(per_shard);
+        // The router contributes no candidates (each is charged to its
+        // owner shard), so the per-shard sum invariant above survives
+        // folding its cold-read counters into the aggregate.
+        let engine = atsq_core::EngineCounters::sum(per_shard.into_iter().chain(router));
         self.shared
             .stats
             .snapshot(self.shared.queue.len(), engine, shard_candidates)
@@ -530,13 +534,15 @@ impl ServiceHandle {
     /// `atsq_city_*` per-tenant families. This backs the wire `metrics`
     /// op and the `atsq metrics` CLI.
     pub fn metrics_text(&self) -> String {
-        let shard_busy_ns = match self.shared.registry.peek_engine(&self.shared.default_city) {
-            Some(engine) => engine.per_shard_busy_ns(),
-            None => Vec::new(),
-        };
+        let (shard_busy_ns, router_busy_ns) =
+            match self.shared.registry.peek_engine(&self.shared.default_city) {
+                Some(engine) => (engine.per_shard_busy_ns(), engine.router_busy_ns()),
+                None => (Vec::new(), None),
+            };
         crate::metrics::render(
             &self.stats(),
             &shard_busy_ns,
+            router_busy_ns,
             self.shared.slowlog.len(),
             *self.shared.startup.lock(),
             &self.shared.registry.cities(),
