@@ -9,13 +9,13 @@ use crate::kernel::ScoreScratch;
 use atsq_grid::{CellId, Grid};
 use atsq_matching::order_match::{min_order_match_distance, order_feasible};
 use atsq_matching::point_match::{dmpm_from_sorted, CandidatePoint, QueryMask};
+use atsq_model::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use atsq_types::{
     rank_top_k, ActivityId, ActivitySet, Dataset, Query, QueryResult, Result, TrajectoryId,
 };
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// What the §V-A candidate retrieval needs from an index: the grid
 /// geometry, the HICL descent and the leaf-cell ITL harvest — but

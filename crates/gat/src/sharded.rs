@@ -34,9 +34,9 @@ use crate::search::{
 };
 use crate::stats::IoSnapshot;
 use atsq_grid::morton_encode;
+use atsq_model::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use atsq_types::{rank_top_k, ActivitySet, Point};
 use atsq_types::{Dataset, Error, Query, QueryResult, Result, TrajectoryId};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 
 /// How trajectories are assigned to shards.
@@ -91,7 +91,7 @@ struct Shard {
     /// The *maximum* across shards is a query's critical path — the
     /// latency a host with ≥ S cores observes; on fewer cores the
     /// wall-clock approaches the *sum* instead.
-    busy_ns: std::sync::atomic::AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 /// `S` disjoint [`GatIndex`] shards searched in parallel behind the
@@ -211,7 +211,7 @@ impl ShardedEngine {
                     index,
                     to_global: members,
                     center,
-                    busy_ns: std::sync::atomic::AtomicU64::new(0),
+                    busy_ns: AtomicU64::new(0),
                 })
             })
             .collect::<Result<Vec<Shard>>>()?;
@@ -335,7 +335,7 @@ impl ShardedEngine {
             .iter()
             // ordering: Relaxed — advisory busy-time tallies; readers
             // tolerate slightly stale per-shard values.
-            .map(|s| s.busy_ns.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|s| s.busy_ns.load(AtomicOrdering::Relaxed))
             .collect()
     }
 
@@ -348,7 +348,7 @@ impl ShardedEngine {
             s.index.apl().reset_pool_stats();
             // ordering: Relaxed — advisory stat reset; callers quiesce
             // or tolerate increments from in-flight queries.
-            s.busy_ns.store(0, std::sync::atomic::Ordering::Relaxed);
+            s.busy_ns.store(0, AtomicOrdering::Relaxed);
         }
         self.router.stats().reset();
         // ordering: Relaxed — advisory stat reset (see above).
@@ -451,9 +451,7 @@ impl ShardedEngine {
             let ns = t0.elapsed().as_nanos() as u64;
             // ordering: Relaxed — independent busy-time tally; no
             // memory is published through it.
-            shard
-                .busy_ns
-                .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+            shard.busy_ns.fetch_add(ns, AtomicOrdering::Relaxed);
             // Attribute the same busy time to the active per-query
             // counter context, keyed by shard (no-op outside a scope).
             atsq_obs::record_shard_busy(i, ns);
@@ -483,7 +481,7 @@ impl ShardedEngine {
                 .iter()
                 .map(|_| parking_lot::Mutex::new(None))
                 .collect();
-            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let cursor = AtomicUsize::new(0);
             // The coordinating thread's per-query counter context (if
             // any) must follow the work onto the shard workers, or the
             // query's I/O counts would vanish into untracked threads.
@@ -501,7 +499,7 @@ impl ShardedEngine {
                             // cursor; atomicity hands each shard to
                             // one worker, results travel through the
                             // slot mutexes.
-                            let next = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let next = cursor.fetch_add(1, AtomicOrdering::Relaxed);
                             let Some(&i) = order.get(next) else { break };
                             *slots[i].lock() = Some(run(i, query));
                         }
@@ -634,9 +632,7 @@ impl ShardedEngine {
                     }
                     let ns = t0.elapsed().as_nanos() as u64;
                     // ordering: Relaxed — advisory busy-time tally.
-                    shard
-                        .busy_ns
-                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    shard.busy_ns.fetch_add(ns, AtomicOrdering::Relaxed);
                     atsq_obs::record_shard_busy(s, ns);
                 }
             }
@@ -725,9 +721,7 @@ impl ShardedEngine {
                     }
                     let ns = t0.elapsed().as_nanos() as u64;
                     // ordering: Relaxed — advisory busy-time tally.
-                    shard
-                        .busy_ns
-                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    shard.busy_ns.fetch_add(ns, AtomicOrdering::Relaxed);
                     atsq_obs::record_shard_busy(s, ns);
                 }
             }
@@ -793,9 +787,7 @@ impl ShardedEngine {
                     }
                     let ns = t0.elapsed().as_nanos() as u64;
                     // ordering: Relaxed — advisory busy-time tally.
-                    shard
-                        .busy_ns
-                        .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+                    shard.busy_ns.fetch_add(ns, AtomicOrdering::Relaxed);
                     atsq_obs::record_shard_busy(s, ns);
                     status.map(|()| found)
                 }));

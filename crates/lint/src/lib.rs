@@ -3,7 +3,7 @@
 //! `cargo run -p atsq-lint` scans every `crates/*/src/**/*.rs` file
 //! (except this crate's own sources) with a line-oriented,
 //! brace-tracking scanner — no syn, no external deps — and enforces
-//! four rules this codebase has been bitten by or is structured
+//! six rules this codebase has been bitten by or is structured
 //! around:
 //!
 //! 1. **`lock-hold`** — a `let`-bound lock guard (`.lock()` /
@@ -27,6 +27,17 @@
 //!    more distinct atomics is publishing a multi-value snapshot that
 //!    can tear; it must say why that is sound in a `coherence:`
 //!    comment (inside the function or immediately above it).
+//! 5. **`condvar-wait-must-loop`** — every blocking
+//!    `Condvar::wait(&mut guard)` must sit inside a `while`/`loop`
+//!    that re-checks its predicate. A wakeup is a hint, not a proof:
+//!    `notify_all` wakes every waiter, the mutex is re-acquired only
+//!    after rivals may have consumed the state, and spurious wakeups
+//!    are legal (`atsq-model` injects them deliberately to break
+//!    wait-once callers).
+//! 6. **`unsafe-needs-safety-comment`** — every `unsafe` keyword
+//!    (block, fn, impl) needs a `// SAFETY:` comment on the same line
+//!    or just above it, recording the proof obligation at the point
+//!    where it is incurred.
 //!
 //! Findings can be waived in a committed `lint.allow` file at the scan
 //! root, one entry per line: `rule|file|needle|reason`. `file` is a
@@ -308,6 +319,8 @@ fn scan_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     rule_atomics_ordering(rel, &lines, findings);
     rule_panic_hot_path(rel, &lines, test_start, findings);
     rule_snapshot_coherence(rel, &lines, findings);
+    rule_condvar_wait_loop(rel, &lines, findings);
+    rule_unsafe_safety(rel, &lines, findings);
 }
 
 /// Net brace balance of a line's code part.
@@ -575,6 +588,99 @@ fn rule_snapshot_coherence(rel: &str, lines: &[&str], findings: &mut Vec<Finding
     }
 }
 
+/// A line whose code opens a loop body: `loop { … }`, `while pred {`,
+/// `while let … {`, `for x in … {`.
+fn is_loop_opener(code: &str) -> bool {
+    code.starts_with("loop") || code.contains("while ") || code.contains("for ")
+}
+
+/// Whether the `.wait(&mut …)` at `idx` sits inside a loop. Climbs
+/// upward tracking brace balance; every line that leaves the balance
+/// positive opened a block still enclosing the wait site — a loop
+/// opener there satisfies the rule, a `fn` signature means the walk
+/// left the function without finding one. Intermediate non-loop
+/// blocks (`match` arms, `if` guards) are climbed through, which is
+/// exactly the shape of the real registry/queue wait sites.
+fn wait_in_loop(lines: &[&str], idx: usize) -> bool {
+    if is_loop_opener(code_of(lines[idx])) {
+        return true; // single-line `while pred { cv.wait(&mut g); }`
+    }
+    let mut bal = 0i64;
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let code = code_of(lines[j]);
+        bal += brace_delta(code);
+        if bal > 0 {
+            if is_loop_opener(code) {
+                return true;
+            }
+            if code.contains("fn ") {
+                return false; // reached the enclosing function header
+            }
+            bal = 0; // a non-loop enclosing block; keep climbing
+        }
+    }
+    false
+}
+
+fn rule_condvar_wait_loop(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_of(line);
+        // Blocking condvar waits only — `&mut guard` distinguishes
+        // them from e.g. a ticket's consuming `wait()`.
+        if !code.contains(".wait(&mut ") {
+            continue;
+        }
+        if !wait_in_loop(lines, i) {
+            findings.push(Finding {
+                rule: "condvar-wait-must-loop",
+                file: rel.to_string(),
+                line: i + 1,
+                message: format!(
+                    "condvar wait is not inside a predicate-recheck loop (`while`/`loop`): `{code}`"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether `code` contains `unsafe` as a standalone keyword token —
+/// `unsafe_code` inside a `#![deny(…)]` attribute does not count.
+fn has_unsafe_token(code: &str) -> bool {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("unsafe").map(|p| p + from) {
+        let end = at + "unsafe".len();
+        let pre = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let post = end == code.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn rule_unsafe_safety(rel: &str, lines: &[&str], findings: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if !has_unsafe_token(code_of(line)) {
+            continue;
+        }
+        if !covered_by(lines, i, "SAFETY:") {
+            findings.push(Finding {
+                rule: "unsafe-needs-safety-comment",
+                file: rel.to_string(),
+                line: i + 1,
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` justification: `{}`",
+                    code_of(line)
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +793,57 @@ mod tests {
         assert!(scan_src("crates/x/src/a.rs", documented)
             .iter()
             .all(|f| f.rule != "atomic-snapshot-coherence"));
+    }
+
+    #[test]
+    fn condvar_wait_outside_loop_is_flagged() {
+        let src = "fn f(&self) {\n    let mut g = self.inner.lock();\n    if g.n == 0 {\n        self.cond.wait(&mut g);\n    }\n}\n";
+        let f = scan_src("crates/x/src/a.rs", src);
+        let cv: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "condvar-wait-must-loop")
+            .collect();
+        assert_eq!(cv.len(), 1, "{cv:?}");
+        assert_eq!(cv[0].line, 4);
+    }
+
+    #[test]
+    fn condvar_wait_in_while_and_in_match_in_loop_pass() {
+        let looped = "fn f(&self) {\n    let mut g = self.inner.lock();\n    while g.n == 0 {\n        self.cond.wait(&mut g);\n    }\n}\n";
+        assert!(scan_src("crates/x/src/a.rs", looped)
+            .iter()
+            .all(|f| f.rule != "condvar-wait-must-loop"));
+        // The real registry shape: wait inside a match arm inside a
+        // loop — the climb must pass through the non-loop levels.
+        let nested = "fn f(&self) {\n    let mut g = self.inner.lock();\n    loop {\n        match g.state {\n            State::Ready => return,\n            State::Loading => {\n                self.cond.wait(&mut g);\n            }\n        }\n    }\n}\n";
+        assert!(scan_src("crates/x/src/a.rs", nested)
+            .iter()
+            .all(|f| f.rule != "condvar-wait-must-loop"));
+        // Non-blocking waits (no `&mut guard`) are out of scope.
+        let ticket = "fn f(t: Ticket) {\n    t.wait();\n}\n";
+        assert!(scan_src("crates/x/src/a.rs", ticket)
+            .iter()
+            .all(|f| f.rule != "condvar-wait-must-loop"));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { do_it() }\n}\n";
+        let f = scan_src("crates/x/src/a.rs", bad);
+        assert!(
+            f.iter().any(|f| f.rule == "unsafe-needs-safety-comment"),
+            "{f:?}"
+        );
+        let good =
+            "fn f() {\n    // SAFETY: caller holds the slot lock.\n    unsafe { do_it() }\n}\n";
+        assert!(scan_src("crates/x/src/a.rs", good)
+            .iter()
+            .all(|f| f.rule != "unsafe-needs-safety-comment"));
+        // `unsafe_code` in a lint attribute is not the keyword.
+        let attr = "#![deny(unsafe_code)]\n";
+        assert!(scan_src("crates/x/src/a.rs", attr)
+            .iter()
+            .all(|f| f.rule != "unsafe-needs-safety-comment"));
     }
 
     #[test]

@@ -81,6 +81,33 @@ fn coherence_fixture_flags_undocumented_multi_load() {
 }
 
 #[test]
+fn condvar_wait_fixture_flags_unlooped_wait_only() {
+    let report = atsq_lint::run(&fixture("condvar_wait")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(rules, ["condvar-wait-must-loop"], "{:?}", report.findings);
+    // Only `wait_once`'s if-guarded wait is flagged; the while-looped
+    // and match-in-loop waits pass.
+    assert_eq!(report.findings[0].line, 11, "{:?}", report.findings);
+}
+
+#[test]
+fn unsafe_safety_fixture_flags_uncommented_sites_only() {
+    let report = atsq_lint::run(&fixture("unsafe_safety")).expect("scan");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules,
+        ["unsafe-needs-safety-comment", "unsafe-needs-safety-comment"],
+        "{:?}",
+        report.findings
+    );
+    // The SAFETY-commented block and the `unsafe_code` attribute pass.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| !f.message.contains("deny") && !f.message.contains("SAFETY: callers")));
+}
+
+#[test]
 fn allowlist_waives_findings() {
     let report = atsq_lint::run(&fixture("allowed")).expect("scan");
     assert!(

@@ -1,0 +1,36 @@
+//! Fixture for `condvar-wait-must-loop`: one wait guarded only by an
+//! `if` (bad — a spurious or stolen wakeup sails past the check), one
+//! in a `while` (good), and one nested in a `match` arm inside a
+//! `loop` (good — the walk must climb past non-loop blocks, which is
+//! the shape of the real registry wait site).
+
+impl Demo {
+    pub fn wait_once(&self) {
+        let mut g = self.inner.lock();
+        if g.pending == 0 {
+            self.cond.wait(&mut g);
+        }
+        g.pending -= 1;
+    }
+
+    pub fn wait_in_while(&self) {
+        let mut g = self.inner.lock();
+        while g.pending == 0 {
+            self.cond.wait(&mut g);
+        }
+        g.pending -= 1;
+    }
+
+    pub fn wait_in_match_in_loop(&self) -> bool {
+        let mut g = self.inner.lock();
+        loop {
+            match g.state {
+                State::Ready => return true,
+                State::Closed => return false,
+                State::Loading => {
+                    self.cond.wait(&mut g);
+                }
+            }
+        }
+    }
+}

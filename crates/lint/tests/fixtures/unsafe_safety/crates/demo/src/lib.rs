@@ -1,0 +1,16 @@
+//! Fixture for `unsafe-needs-safety-comment`: a commented block
+//! (good), a bare block and a bare `unsafe impl` (both bad), and a
+//! lint attribute whose `unsafe_code` token must not match.
+
+#![deny(unsafe_code)]
+
+pub fn read_slot(&self) -> u64 {
+    // SAFETY: callers hold the slot's lock, so no write aliases this.
+    unsafe { *self.cell.get() }
+}
+
+pub fn read_slot_bare(&self) -> u64 {
+    unsafe { *self.cell.get() }
+}
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,46 @@
+//! Vector clocks for the model's happens-before tracking.
+
+/// A per-thread vector clock. Component `t` counts synchronization
+/// events performed by model thread `t`; missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// Advances this thread's own component.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum (join) with another clock.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Pointwise `<=`: true iff every component of `self` is at most
+    /// the corresponding component of `other` — i.e. everything this
+    /// clock has seen, `other` has also seen (happens-before or equal).
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Feeds the clock into a running FNV hash (for state fingerprints).
+    pub(crate) fn mix_into(&self, h: &mut u64) {
+        for &v in &self.0 {
+            *h = super::fnv(*h, u64::from(v));
+        }
+        *h = super::fnv(*h, 0x5643_4C4B); // "VCLK" separator
+    }
+}

@@ -1,0 +1,63 @@
+//! Model threads: real OS threads whose every visible step is
+//! serialized and chosen by the execution's scheduler.
+
+use super::{ctx, CTX};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a model thread; `join` blocks (in model time) until the
+/// child finishes and synchronizes clocks, like `std::thread` join.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the child. A child panic never reaches here — it aborts
+    /// the whole execution and is reported by the explorer — so the
+    /// `Result` (kept for `std` API parity) is always `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, me) = ctx();
+        rt.join_thread(me, self.tid);
+        let v = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("joined model thread left no result");
+        Ok(v)
+    }
+}
+
+/// Spawns a model thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, me) = ctx();
+    let tid = rt.alloc_thread(me);
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let rt2 = Arc::clone(&rt);
+    let os = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt2), tid)));
+            rt2.enter_thread(tid);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *slot2
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+                    rt2.finish_thread(tid);
+                }
+                Err(p) => rt2.finish_panicked(tid, p),
+            }
+            CTX.with(|c| *c.borrow_mut() = None);
+            rt2.os_thread_exited();
+        })
+        .expect("spawn model os thread");
+    rt.track_handle(os);
+    JoinHandle { tid, slot }
+}

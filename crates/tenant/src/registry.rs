@@ -3,11 +3,11 @@
 
 use atsq_core::profile::{EngineCounters, Profiled};
 use atsq_core::Engine;
+use atsq_model::atomic::{AtomicU64, Ordering};
+use atsq_model::sync::{Condvar, Mutex};
 use atsq_types::Dataset;
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -842,6 +842,43 @@ mod tests {
         assert_eq!(info.loads, 1);
         assert_eq!(info.queries, 8);
         assert!(info.resident_bytes > 0);
+    }
+
+    /// Spurious-wakeup regression for the `condvar-wait-must-loop`
+    /// discipline: waiters parked on a `Loading` city re-check the
+    /// state in a loop, so a storm of stray `notify_all` calls while
+    /// the load is in flight must neither duplicate the build nor
+    /// hand a waiter a lease on a half-loaded city.
+    #[test]
+    fn spurious_wakeups_do_not_break_single_flight() {
+        let builds = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new(CityRegistry::new(id("a"), None));
+        registry
+            .add_city(
+                id("a"),
+                counting_factory(1, Arc::clone(&builds), Duration::from_millis(50)),
+            )
+            .unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let registry = Arc::clone(&registry);
+            handles.push(thread::spawn(move || {
+                let lease = registry.resolve(&id("a")).unwrap();
+                assert!(!lease.dataset().is_empty());
+            }));
+        }
+        // Wake every waiter repeatedly while the factory stalls: each
+        // wakeup finds the state still `Loading` and must re-park.
+        for _ in 0..20 {
+            registry.cond.notify_all();
+            thread::sleep(Duration::from_millis(3));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // ordering: Relaxed — all threads joined; test-only read.
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(registry.state(&id("a")), Some(TenantState::Ready));
     }
 
     #[test]
